@@ -1,0 +1,115 @@
+// Command netsim runs a single aggregate query on a simulated dynamic
+// network and reports the result together with the oracle's Single-Site
+// Validity bounds and the §6.3 cost measures:
+//
+//	netsim -topology gnutella -hosts 10000 -agg count -protocol wildfire -failures 500
+//	netsim -topology grid -hosts 10000 -wireless -agg min -protocol spanningtree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"validity"
+	"validity/internal/graph"
+	"validity/internal/topology"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topology", "random", "random | power-law | grid | gnutella")
+		topoFile = flag.String("topology-file", "", "load topology from an edge-list file instead of generating")
+		hosts    = flag.Int("hosts", 1000, "network size |H|")
+		aggName  = flag.String("agg", "count", "min | max | count | sum | avg")
+		proto    = flag.String("protocol", "wildfire", "wildfire | spanningtree | dag | allreport | randomizedreport")
+		parents  = flag.Int("parents", 2, "parents per host for -protocol dag")
+		failures = flag.Int("failures", 0, "hosts leaving during the query (§6.2 churn)")
+		dHat     = flag.Int("dhat", 0, "stable-diameter overestimate D̂ (0 = diameter+2)")
+		wireless = flag.Bool("wireless", false, "sensor-radio message accounting (§5.3)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		vectors  = flag.Int("c", 8, "FM sketch repetitions for count/sum/avg")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+
+	var edges [][2]int
+	if *topoFile != "" {
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fail(err)
+		}
+		g, err := topology.LoadEdgeList(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		*hosts = g.Len()
+		g.Edges(func(a, b graph.HostID) bool {
+			edges = append(edges, [2]int{int(a), int(b)})
+			return true
+		})
+	}
+
+	var topoKind validity.Topology
+	switch *topo {
+	case "random":
+		topoKind = validity.Random
+	case "power-law", "powerlaw":
+		topoKind = validity.PowerLaw
+	case "grid":
+		topoKind = validity.Grid
+	case "gnutella":
+		topoKind = validity.Gnutella
+	default:
+		fail(fmt.Errorf("unknown topology %q", *topo))
+	}
+	aggKind, err := validity.ParseAggregate(*aggName)
+	if err != nil {
+		fail(err)
+	}
+	protoKind, err := validity.ParseProtocol(*proto)
+	if err != nil {
+		fail(err)
+	}
+
+	net, err := validity.NewNetwork(validity.NetworkConfig{
+		Topology: topoKind,
+		Hosts:    *hosts,
+		Edges:    edges,
+		Wireless: *wireless,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	exact, err := net.Exact(aggKind)
+	if err != nil {
+		fail(err)
+	}
+
+	res, err := net.Query(validity.QueryConfig{
+		Aggregate:     aggKind,
+		Protocol:      protoKind,
+		DAGParents:    *parents,
+		Failures:      *failures,
+		DHat:          *dHat,
+		SketchVectors: *vectors,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("network     %s |H|=%d |E|=%d diameter=%d\n", topoKind, net.Hosts(), net.Edges(), net.Diameter())
+	fmt.Printf("query       %s via %s, %d departures\n", aggKind, protoKind, *failures)
+	fmt.Printf("result      %.2f (failure-free exact: %.2f)\n", res.Value, exact)
+	fmt.Printf("oracle      q(H_C)=%.2f  q(H_U)=%.2f  |H_C|=%d |H_U|=%d\n", res.Lower, res.Upper, res.HC, res.HU)
+	fmt.Printf("valid       %v (Single-Site Validity)\n", res.Valid)
+	fmt.Printf("costs       messages=%d  max-computation=%d  time=%dδ\n",
+		res.Messages, res.MaxComputation, res.TimeCost)
+}

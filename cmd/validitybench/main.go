@@ -1,0 +1,80 @@
+// Command validitybench regenerates the tables and figures of the paper's
+// evaluation (§6). Each figure is an experiment ID; run one, several, or
+// all of them:
+//
+//	validitybench -list
+//	validitybench -fig fig7 -scale 0.1
+//	validitybench -all -scale 1 -trials 10 > results.txt
+//
+// Scale 1 reproduces the paper's workload sizes (|H| = 39,046 Gnutella,
+// 40K synthetic topologies, 100×100 grids); smaller scales shrink the
+// networks proportionally while preserving every qualitative shape the
+// paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"validity/internal/experiment"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment ID to run (see -list); comma-separated for several")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		scale   = flag.Float64("scale", 0.1, "workload scale relative to the paper (1 = full size)")
+		trials  = flag.Int("trials", 0, "trials per data point (0 = paper's 10)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "print progress while running")
+		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiment.IDs()
+	case *fig != "":
+		ids = strings.Split(*fig, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "validitybench: pass -fig <id> or -all (see -list)")
+		os.Exit(2)
+	}
+
+	opt := experiment.Options{Scale: *scale, Trials: *trials, Seed: *seed}
+	if *verbose {
+		opt.Progress = os.Stderr
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, err := experiment.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validitybench:", err)
+			os.Exit(2)
+		}
+		table, err := run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validitybench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *asCSV {
+			if err := table.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "validitybench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		table.Render(os.Stdout)
+	}
+}

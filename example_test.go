@@ -1,0 +1,74 @@
+package validity_test
+
+import (
+	"fmt"
+
+	"validity"
+)
+
+// The smallest useful program: one count query with validity bounds.
+func ExampleNetwork_Query() {
+	net, err := validity.NewNetwork(validity.NetworkConfig{
+		Hosts:  4,
+		Edges:  [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+		Values: []int64{5, 15, 1, 25},
+		Seed:   1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := net.Query(validity.QueryConfig{
+		Aggregate: validity.Max,
+		Protocol:  validity.Wildfire,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max=%.0f valid=%v bounds=[%.0f, %.0f]\n",
+		res.Value, res.Valid, res.Lower, res.Upper)
+	// Output: max=25 valid=true bounds=[25, 25]
+}
+
+// Failures mid-query: the Fig. 5 network where both of h_q's neighbors
+// die, leaving H_C = {h_q}; the answer degrades to h_q's own value yet
+// remains valid.
+func ExampleNetwork_Query_churn() {
+	net, err := validity.NewNetwork(validity.NetworkConfig{
+		Hosts:  4,
+		Edges:  [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+		Values: []int64{5, 15, 1, 25},
+		Seed:   1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := net.Query(validity.QueryConfig{
+		Aggregate: validity.Max,
+		Protocol:  validity.Wildfire,
+		Schedule:  []validity.Failure{{H: 1, T: 1}, {H: 2, T: 1}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max=%.0f valid=%v |H_C|=%d\n", res.Value, res.Valid, res.HC)
+	// Output: max=5 valid=true |H_C|=1
+}
+
+// The §6.6.2 self-probe: discover a good D̂ with WILDFIRE itself, then
+// use it.
+func ExampleNetwork_ProbeDiameter() {
+	net, err := validity.NewNetwork(validity.NetworkConfig{
+		Topology: validity.Grid,
+		Hosts:    100,
+		Seed:     13,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ecc, dHat, err := net.ProbeDiameter(0, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("eccentricity=%d recommended D̂=%d\n", ecc, dHat)
+	// Output: eccentricity=9 recommended D̂=11
+}

@@ -1,0 +1,51 @@
+// Quickstart: the paper's headline experiment in thirty lines.
+//
+// Build a Gnutella-like P2P network, issue a COUNT query while hosts are
+// leaving, and compare WILDFIRE (valid under churn) against the
+// best-effort SPANNINGTREE (whose answer silently collapses), using the
+// oracle's Single-Site Validity bounds as the frame of reference.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"validity"
+)
+
+func main() {
+	net, err := validity.NewNetwork(validity.NetworkConfig{
+		Topology: validity.Gnutella,
+		Hosts:    5000,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := net.Exact(validity.Count)
+	fmt.Printf("network: %d hosts, %d edges, diameter %d (true count %.0f)\n\n",
+		net.Hosts(), net.Edges(), net.Diameter(), exact)
+
+	fmt.Printf("%-10s %-14s %10s %10s %10s %7s %10s\n",
+		"departures", "protocol", "value", "q(H_C)", "q(H_U)", "valid", "messages")
+	for _, failures := range []int{0, 250, 500, 1000} {
+		for _, proto := range []validity.Protocol{validity.Wildfire, validity.SpanningTree} {
+			res, err := net.Query(validity.QueryConfig{
+				Aggregate: validity.Count,
+				Protocol:  proto,
+				Failures:  failures,
+				Seed:      7, // same churn draw for both protocols
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10d %-14s %10.0f %10.0f %10.0f %7v %10d\n",
+				failures, proto, res.Value, res.Lower, res.Upper, res.Valid, res.Messages)
+		}
+	}
+	fmt.Println("\nWILDFIRE stays inside the oracle bounds at every churn level —")
+	fmt.Println("that is Single-Site Validity. SPANNINGTREE is ~5x cheaper but its")
+	fmt.Println("count drops below q(H_C) as departures grow: the price of validity.")
+}

@@ -1,0 +1,370 @@
+// Package agg defines the aggregate queries of the paper — minimum,
+// maximum, count, sum and average (§1, §5) — and the partial-aggregate
+// states the protocols exchange.
+//
+// Two families of partials exist:
+//
+//   - Scalar partials for min/max, whose combine function is the query
+//     itself and is naturally duplicate-insensitive (§5.1).
+//   - Sketch partials for count/sum/avg, which carry Flajolet–Martin
+//     bit-vectors whose combine function is bitwise OR (§5.2). Average is
+//     a (sum, count) sketch pair.
+//
+// Exact reference evaluation over a value multiset is also provided; the
+// oracle uses it to compute the q(H_C) and q(H_U) validity bounds.
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"validity/internal/fm"
+)
+
+// Kind enumerates the aggregate queries.
+type Kind int
+
+const (
+	Min Kind = iota
+	Max
+	Count
+	Sum
+	Avg
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a query name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "count":
+		return Count, nil
+	case "sum":
+		return Sum, nil
+	case "avg", "average":
+		return Avg, nil
+	}
+	return 0, fmt.Errorf("agg: unknown aggregate %q", s)
+}
+
+// DuplicateSensitive reports whether the conventional combine function for
+// k is duplicate-sensitive (+). Such kinds need the FM sketch encoding to
+// run on WILDFIRE (§5.2).
+func (k Kind) DuplicateSensitive() bool {
+	return k == Count || k == Sum || k == Avg
+}
+
+// Exact evaluates the aggregate exactly over values (the Oracle's view).
+// Count ignores the magnitudes. Avg of an empty set is 0.
+func Exact(k Kind, values []int64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	switch k {
+	case Min:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return float64(m)
+	case Max:
+		m := values[0]
+		for _, v := range values[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return float64(m)
+	case Count:
+		return float64(len(values))
+	case Sum:
+		var s int64
+		for _, v := range values {
+			s += v
+		}
+		return float64(s)
+	case Avg:
+		var s int64
+		for _, v := range values {
+			s += v
+		}
+		return float64(s) / float64(len(values))
+	default:
+		panic(fmt.Sprintf("agg: unknown kind %d", int(k)))
+	}
+}
+
+// Partial is a host's partial aggregate A_h (§5.1): the state initialized
+// when the host becomes active, combined with neighbors' partials during
+// convergecast, and evaluated at the querying host at the deadline.
+type Partial interface {
+	// Combine merges other into the receiver and reports whether the
+	// receiver changed (WILDFIRE only re-floods on change).
+	Combine(other Partial) bool
+	// Clone returns an independent deep copy, safe to hand to a message.
+	Clone() Partial
+	// Equal reports whether two partials hold identical state.
+	Equal(other Partial) bool
+	// Dominates reports whether the receiver already subsumes other:
+	// combining other into the receiver would change nothing. WILDFIRE
+	// skips sending to neighbors known to dominate the sender's state.
+	Dominates(other Partial) bool
+	// Result converts the partial into the query answer.
+	Result() float64
+}
+
+// Params configures sketch-backed partials.
+type Params struct {
+	// Vectors is the FM repetition count c.
+	Vectors int
+	// Bits is the FM vector width (the paper's l_M overestimate; 32 covers
+	// networks up to 2^32 pseudo-elements, §5.2).
+	Bits int
+}
+
+// DefaultParams matches the paper's evaluation defaults.
+func DefaultParams() Params { return Params{Vectors: fm.DefaultVectors, Bits: fm.DefaultBits} }
+
+// NewPartial initializes the partial aggregate for a host with attribute
+// value v, using rng for the FM coin tosses (sketch kinds only).
+func NewPartial(k Kind, v int64, p Params, rng *rand.Rand) Partial {
+	switch k {
+	case Min:
+		return &scalarPartial{kind: Min, val: v}
+	case Max:
+		return &scalarPartial{kind: Max, val: v}
+	case Count:
+		s := fm.NewSketch(p.Vectors, p.Bits)
+		s.AddDistinct(rng)
+		return &countPartial{sk: s}
+	case Sum:
+		s := fm.NewSketch(p.Vectors, p.Bits)
+		s.AddN(rng, v)
+		return &sumPartial{sk: s}
+	case Avg:
+		sum := fm.NewSketch(p.Vectors, p.Bits)
+		sum.AddN(rng, v)
+		cnt := fm.NewSketch(p.Vectors, p.Bits)
+		cnt.AddDistinct(rng)
+		return &avgPartial{sum: sum, cnt: cnt}
+	default:
+		panic(fmt.Sprintf("agg: unknown kind %d", int(k)))
+	}
+}
+
+// scalarPartial carries min/max state.
+type scalarPartial struct {
+	kind Kind
+	val  int64
+}
+
+func (s *scalarPartial) Combine(other Partial) bool {
+	o, ok := other.(*scalarPartial)
+	if !ok || o.kind != s.kind {
+		panic("agg: combining mismatched partials")
+	}
+	switch {
+	case s.kind == Min && o.val < s.val:
+		s.val = o.val
+		return true
+	case s.kind == Max && o.val > s.val:
+		s.val = o.val
+		return true
+	}
+	return false
+}
+
+func (s *scalarPartial) Clone() Partial { c := *s; return &c }
+
+func (s *scalarPartial) Dominates(other Partial) bool {
+	o, ok := other.(*scalarPartial)
+	if !ok || o.kind != s.kind {
+		return false
+	}
+	if s.kind == Min {
+		return s.val <= o.val
+	}
+	return s.val >= o.val
+}
+
+func (s *scalarPartial) Equal(other Partial) bool {
+	o, ok := other.(*scalarPartial)
+	return ok && o.kind == s.kind && o.val == s.val
+}
+
+func (s *scalarPartial) Result() float64 { return float64(s.val) }
+
+// countPartial carries an FM count sketch.
+type countPartial struct{ sk *fm.Sketch }
+
+func (c *countPartial) Combine(other Partial) bool {
+	o, ok := other.(*countPartial)
+	if !ok {
+		panic("agg: combining mismatched partials")
+	}
+	if c.sk.Covers(o.sk) {
+		return false
+	}
+	c.sk.Or(o.sk)
+	return true
+}
+
+func (c *countPartial) Clone() Partial { return &countPartial{sk: c.sk.Clone()} }
+
+func (c *countPartial) Dominates(other Partial) bool {
+	o, ok := other.(*countPartial)
+	return ok && c.sk.Covers(o.sk)
+}
+
+func (c *countPartial) Equal(other Partial) bool {
+	o, ok := other.(*countPartial)
+	return ok && c.sk.Equal(o.sk)
+}
+
+func (c *countPartial) Result() float64 { return c.sk.Estimate() }
+
+// Sketch exposes the underlying sketch (for validity checking).
+func (c *countPartial) Sketch() *fm.Sketch { return c.sk }
+
+// sumPartial carries an FM sum sketch.
+type sumPartial struct{ sk *fm.Sketch }
+
+func (s *sumPartial) Combine(other Partial) bool {
+	o, ok := other.(*sumPartial)
+	if !ok {
+		panic("agg: combining mismatched partials")
+	}
+	if s.sk.Covers(o.sk) {
+		return false
+	}
+	s.sk.Or(o.sk)
+	return true
+}
+
+func (s *sumPartial) Clone() Partial { return &sumPartial{sk: s.sk.Clone()} }
+
+func (s *sumPartial) Dominates(other Partial) bool {
+	o, ok := other.(*sumPartial)
+	return ok && s.sk.Covers(o.sk)
+}
+
+func (s *sumPartial) Equal(other Partial) bool {
+	o, ok := other.(*sumPartial)
+	return ok && s.sk.Equal(o.sk)
+}
+
+func (s *sumPartial) Result() float64 { return s.sk.Estimate() }
+
+func (s *sumPartial) Sketch() *fm.Sketch { return s.sk }
+
+// avgPartial is a (sum, count) sketch pair; avg = sum/count (§5, Thm 5.3's
+// "average" class).
+type avgPartial struct {
+	sum *fm.Sketch
+	cnt *fm.Sketch
+}
+
+func (a *avgPartial) Combine(other Partial) bool {
+	o, ok := other.(*avgPartial)
+	if !ok {
+		panic("agg: combining mismatched partials")
+	}
+	changed := false
+	if !a.sum.Covers(o.sum) {
+		a.sum.Or(o.sum)
+		changed = true
+	}
+	if !a.cnt.Covers(o.cnt) {
+		a.cnt.Or(o.cnt)
+		changed = true
+	}
+	return changed
+}
+
+func (a *avgPartial) Clone() Partial {
+	return &avgPartial{sum: a.sum.Clone(), cnt: a.cnt.Clone()}
+}
+
+func (a *avgPartial) Dominates(other Partial) bool {
+	o, ok := other.(*avgPartial)
+	return ok && a.sum.Covers(o.sum) && a.cnt.Covers(o.cnt)
+}
+
+func (a *avgPartial) Equal(other Partial) bool {
+	o, ok := other.(*avgPartial)
+	return ok && a.sum.Equal(o.sum) && a.cnt.Equal(o.cnt)
+}
+
+func (a *avgPartial) Result() float64 {
+	c := a.cnt.Estimate()
+	if c == 0 {
+		return 0
+	}
+	return a.sum.Estimate() / c
+}
+
+// PartialFromSketches reconstructs a sketch-backed partial from raw FM
+// sketches (one for count/sum, [sum, count] for avg) — the decoding half
+// of the wire format. The sketches are adopted, not copied.
+func PartialFromSketches(k Kind, sks []*fm.Sketch) (Partial, error) {
+	switch k {
+	case Count:
+		if len(sks) != 1 {
+			return nil, fmt.Errorf("agg: count partial needs 1 sketch, got %d", len(sks))
+		}
+		return &countPartial{sk: sks[0]}, nil
+	case Sum:
+		if len(sks) != 1 {
+			return nil, fmt.Errorf("agg: sum partial needs 1 sketch, got %d", len(sks))
+		}
+		return &sumPartial{sk: sks[0]}, nil
+	case Avg:
+		if len(sks) != 2 {
+			return nil, fmt.Errorf("agg: avg partial needs 2 sketches, got %d", len(sks))
+		}
+		return &avgPartial{sum: sks[0], cnt: sks[1]}, nil
+	}
+	return nil, fmt.Errorf("agg: kind %v is not sketch-backed", k)
+}
+
+// Sketcher is implemented by sketch-backed partials; the oracle uses it
+// for sketch-level validity checks.
+type Sketcher interface {
+	Sketch() *fm.Sketch
+}
+
+// Sketches returns the FM sketches carried by p: one for count/sum, two
+// (sum, count) for avg, none for scalars.
+func Sketches(p Partial) []*fm.Sketch {
+	switch v := p.(type) {
+	case *countPartial:
+		return []*fm.Sketch{v.sk}
+	case *sumPartial:
+		return []*fm.Sketch{v.sk}
+	case *avgPartial:
+		return []*fm.Sketch{v.sum, v.cnt}
+	default:
+		return nil
+	}
+}

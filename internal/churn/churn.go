@@ -1,0 +1,122 @@
+// Package churn generates the dynamism workloads of the paper's
+// evaluation. The primary model (§6.2) removes R randomly selected hosts
+// from G at a uniform rate over an interval [t0, tn]; host joins are not
+// modeled because hosts that join after the query starts may or may not
+// contribute to a valid result (H_C is the interesting bound).
+//
+// As an extension the package also provides a session-based model with
+// exponentially distributed host lifetimes (the median-60-minutes Gnutella
+// sessions of footnote 1) for the continuous-query experiments of §5.4.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"validity/internal/graph"
+	"validity/internal/sim"
+)
+
+// Failure schedules host H to leave the network at time T.
+type Failure struct {
+	H graph.HostID
+	T sim.Time
+}
+
+// Schedule is a set of failures ordered by time.
+type Schedule []Failure
+
+// Apply installs every failure on the network.
+func (s Schedule) Apply(nw *sim.Network) {
+	for _, f := range s {
+		nw.FailAt(f.H, f.T)
+	}
+}
+
+// Failed returns the set of hosts that fail at or before t.
+func (s Schedule) Failed(t sim.Time) map[graph.HostID]bool {
+	m := make(map[graph.HostID]bool)
+	for _, f := range s {
+		if f.T <= t {
+			m[f.H] = true
+		}
+	}
+	return m
+}
+
+// FailTime returns the failure time of h, or -1 if h never fails.
+func (s Schedule) FailTime(h graph.HostID) sim.Time {
+	for _, f := range s {
+		if f.H == h {
+			return f.T
+		}
+	}
+	return -1
+}
+
+// UniformRemoval selects R distinct hosts uniformly at random from the n
+// hosts (excluding `protect`, normally the querying host h_q) and spreads
+// their failure times at a uniform rate over [t0, tn] (§6.2). It panics if
+// R exceeds the number of removable hosts.
+func UniformRemoval(n, r int, protect graph.HostID, t0, tn sim.Time, rng *rand.Rand) Schedule {
+	if tn < t0 {
+		panic(fmt.Sprintf("churn: tn %d < t0 %d", tn, t0))
+	}
+	removable := make([]graph.HostID, 0, n)
+	for h := 0; h < n; h++ {
+		if graph.HostID(h) != protect {
+			removable = append(removable, graph.HostID(h))
+		}
+	}
+	if r > len(removable) {
+		panic(fmt.Sprintf("churn: cannot remove %d of %d removable hosts", r, len(removable)))
+	}
+	rng.Shuffle(len(removable), func(i, j int) {
+		removable[i], removable[j] = removable[j], removable[i]
+	})
+	out := make(Schedule, r)
+	span := float64(tn - t0)
+	for i := 0; i < r; i++ {
+		// Uniform rate: failure i at t0 + (i+1)/(r+1) of the interval,
+		// jittered within its slot for realism.
+		base := span * float64(i) / float64(r)
+		slot := span / float64(r)
+		t := t0 + sim.Time(base+rng.Float64()*slot)
+		if t > tn {
+			t = tn
+		}
+		out[i] = Failure{H: removable[i], T: t}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// ExponentialSessions draws, for every host except protect, an
+// exponentially distributed lifetime with the given mean and schedules the
+// host's departure at that time if it falls within [0, horizon]. Hosts
+// whose lifetime exceeds the horizon never fail. This models the memoryless
+// "every host has the same probability of leaving at each instant"
+// assumption of §5.4.
+func ExponentialSessions(n int, protect graph.HostID, mean float64, horizon sim.Time, rng *rand.Rand) Schedule {
+	if mean <= 0 {
+		panic("churn: mean lifetime must be positive")
+	}
+	var out Schedule
+	for h := 0; h < n; h++ {
+		if graph.HostID(h) == protect {
+			continue
+		}
+		life := rng.ExpFloat64() * mean
+		if life > math.MaxInt32 {
+			continue
+		}
+		t := sim.Time(life)
+		if t <= horizon {
+			out = append(out, Failure{H: graph.HostID(h), T: t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}

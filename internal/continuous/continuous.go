@@ -1,0 +1,199 @@
+// Package continuous implements Continuous Single-Site Validity (§4.2):
+// long-running aggregate queries whose per-window results v_t each equal
+// q(H) for some H between the window's own H_C and H_U, computed over the
+// recent interval [t−W, t].
+//
+// The naive adaptation of one-time Single-Site Validity to a long-running
+// query degenerates — over a long [0, t] the stable set H_C empties out in
+// any churning network (§4.2) — so the driver re-executes a one-time valid
+// protocol once per window of length W ≥ 2D̂δ and attaches per-window
+// oracle bounds. The window results stream to the caller in order.
+package continuous
+
+import (
+	"fmt"
+
+	"validity/internal/agg"
+	"validity/internal/churn"
+	"validity/internal/graph"
+	"validity/internal/oracle"
+	"validity/internal/protocol"
+	"validity/internal/sim"
+)
+
+// Config describes a continuous query.
+type Config struct {
+	// Graph is the (initial) topology.
+	Graph *graph.Graph
+	// Values are per-host attribute values.
+	Values []int64
+	// Hq is the querying (monitoring) host; it must outlive the run.
+	Hq graph.HostID
+	// Kind is the aggregate.
+	Kind agg.Kind
+	// DHat is the stable-diameter overestimate used by every window.
+	DHat int
+	// Params sizes FM sketches for count/sum/avg.
+	Params agg.Params
+	// WindowLen is W in ticks; it must be at least 2·D̂ (the §4.2
+	// computability bound W ≥ max D_i·δ). 0 means exactly 2·D̂.
+	WindowLen sim.Time
+	// Windows is the number of windows to run.
+	Windows int
+	// Schedule lists host failures in absolute time across the whole run.
+	Schedule churn.Schedule
+	// Medium selects message accounting.
+	Medium sim.Medium
+	// Seed drives protocol randomness (per-window derived).
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("continuous: nil graph")
+	}
+	if len(c.Values) != c.Graph.Len() {
+		return fmt.Errorf("continuous: %d values for %d hosts", len(c.Values), c.Graph.Len())
+	}
+	if c.DHat < 1 {
+		return fmt.Errorf("continuous: D̂ must be ≥ 1")
+	}
+	if c.Windows < 1 {
+		return fmt.Errorf("continuous: need at least one window")
+	}
+	if c.WindowLen == 0 {
+		c.WindowLen = sim.Time(2 * c.DHat)
+	}
+	if c.WindowLen < sim.Time(2*c.DHat) {
+		return fmt.Errorf("continuous: window %d shorter than 2·D̂ = %d (§4.2 bound)",
+			c.WindowLen, 2*c.DHat)
+	}
+	if ft := c.Schedule.FailTime(c.Hq); ft >= 0 {
+		return fmt.Errorf("continuous: querying host %d scheduled to fail at %d", c.Hq, ft)
+	}
+	return nil
+}
+
+// WindowResult is one window's outcome.
+type WindowResult struct {
+	// Index is the 0-based window number.
+	Index int
+	// Start and End delimit the window [Start, End) in absolute time.
+	Start, End sim.Time
+	// Value is the result declared at h_q for this window.
+	Value float64
+	// Lower and Upper are this window's q(H_C) / q(H_U) bounds.
+	Lower, Upper float64
+	// HC and HU are the bound set sizes.
+	HC, HU int
+	// AliveAtStart is |H_{Start}|.
+	AliveAtStart int
+	// Valid reports whether Value satisfies this window's Continuous
+	// Single-Site Validity (exactly for min/max, within the FM factor
+	// otherwise).
+	Valid bool
+	// Messages is the window's communication cost.
+	Messages int64
+}
+
+// Run executes the continuous query and returns one result per window.
+func Run(cfg Config) ([]WindowResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	failAt := make(map[graph.HostID]sim.Time, len(cfg.Schedule))
+	for _, f := range cfg.Schedule {
+		if cur, ok := failAt[f.H]; !ok || f.T < cur {
+			failAt[f.H] = f.T
+		}
+	}
+
+	results := make([]WindowResult, 0, cfg.Windows)
+	for w := 0; w < cfg.Windows; w++ {
+		start := sim.Time(w) * cfg.WindowLen
+		end := start + cfg.WindowLen
+
+		aliveAtStart := func(h graph.HostID) bool {
+			t, ok := failAt[h]
+			return !ok || t > start
+		}
+		survivesWindow := func(h graph.HostID) bool {
+			t, ok := failAt[h]
+			return !ok || t > end
+		}
+
+		// Fresh per-window simulation: dead hosts removed up front,
+		// within-window failures applied at window-relative times.
+		nw := sim.NewNetwork(sim.Config{
+			Graph:  cfg.Graph,
+			Medium: cfg.Medium,
+			Seed:   cfg.Seed + int64(w)*1_000_003,
+			Values: cfg.Values,
+		})
+		alive := 0
+		for h := 0; h < cfg.Graph.Len(); h++ {
+			id := graph.HostID(h)
+			switch {
+			case !aliveAtStart(id):
+				nw.SetInitiallyDead(id)
+			default:
+				alive++
+				if t, ok := failAt[id]; ok && t > start && t <= end {
+					nw.FailAt(id, t-start)
+				}
+			}
+		}
+
+		q := protocol.Query{Kind: cfg.Kind, Hq: cfg.Hq, DHat: cfg.DHat, Params: cfg.Params}
+		wf := protocol.NewWildfire(q)
+		v, stats, err := protocol.Run(wf, nw)
+		if err != nil {
+			return nil, fmt.Errorf("window %d: %w", w, err)
+		}
+
+		// Window-local oracle bounds: H_C is the stable component of h_q
+		// among hosts surviving the whole window; H_U is everyone alive at
+		// some instant of the window, i.e. alive at its start.
+		hc := cfg.Graph.Component(cfg.Hq, survivesWindow)
+		var hcVals, huVals []int64
+		hu := 0
+		for h := 0; h < cfg.Graph.Len(); h++ {
+			if aliveAtStart(graph.HostID(h)) {
+				hu++
+				huVals = append(huVals, cfg.Values[h])
+			}
+		}
+		for _, h := range hc {
+			hcVals = append(hcVals, cfg.Values[h])
+		}
+		res := WindowResult{
+			Index:        w,
+			Start:        start,
+			End:          end,
+			Value:        v,
+			Lower:        agg.Exact(cfg.Kind, hcVals),
+			Upper:        agg.Exact(cfg.Kind, huVals),
+			HC:           len(hc),
+			HU:           hu,
+			AliveAtStart: alive,
+			Messages:     stats.MessagesSent,
+		}
+		res.Valid = windowValid(cfg.Kind, v, res.Lower, res.Upper, cfg.Params.Vectors)
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// windowValid mirrors oracle.Bounds.Valid/ValidFactor for per-window
+// bounds.
+func windowValid(kind agg.Kind, v, lower, upper float64, vectors int) bool {
+	b := oracle.Bounds{LowerValue: lower, UpperValue: upper, Kind: kind}
+	if kind.DuplicateSensitive() {
+		f := 6.0
+		if vectors >= 16 {
+			f = 4.0
+		}
+		return b.ValidFactor(v, f)
+	}
+	return b.Valid(v, 1e-9)
+}

@@ -1,0 +1,191 @@
+package continuous
+
+import (
+	"math/rand"
+	"testing"
+
+	"validity/internal/agg"
+	"validity/internal/churn"
+	"validity/internal/graph"
+	"validity/internal/sim"
+	"validity/internal/topology"
+	"validity/internal/zipfval"
+)
+
+func baseConfig(t *testing.T) Config {
+	t.Helper()
+	g := topology.NewGnutella(400, 1)
+	return Config{
+		Graph:   g,
+		Values:  zipfval.Default(1).Values(g.Len()),
+		Hq:      0,
+		Kind:    agg.Max,
+		DHat:    g.DiameterSampled(2, nil) + 2,
+		Windows: 4,
+		Params:  agg.Params{Vectors: 16, Bits: 32},
+		Seed:    1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := baseConfig(t)
+	bad := cfg
+	bad.Graph = nil
+	if _, err := Run(bad); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	bad = cfg
+	bad.Values = bad.Values[:1]
+	if _, err := Run(bad); err == nil {
+		t.Fatal("short values accepted")
+	}
+	bad = cfg
+	bad.DHat = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero D̂ accepted")
+	}
+	bad = cfg
+	bad.Windows = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero windows accepted")
+	}
+	bad = cfg
+	bad.WindowLen = 3 // < 2D̂
+	if _, err := Run(bad); err == nil {
+		t.Fatal("window below 2·D̂ accepted (§4.2 computability bound)")
+	}
+	bad = cfg
+	bad.Schedule = churn.Schedule{{H: bad.Hq, T: 5}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("failing h_q accepted")
+	}
+}
+
+func TestNoChurnAllWindowsEqualExact(t *testing.T) {
+	cfg := baseConfig(t)
+	truth := agg.Exact(agg.Max, cfg.Values)
+	rs, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("windows = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.Value != truth {
+			t.Fatalf("window %d: max %v != %v", r.Index, r.Value, truth)
+		}
+		if !r.Valid {
+			t.Fatalf("window %d invalid without churn", r.Index)
+		}
+		if r.HC != cfg.Graph.Len() || r.HU != cfg.Graph.Len() {
+			t.Fatalf("window %d: HC=%d HU=%d", r.Index, r.HC, r.HU)
+		}
+	}
+}
+
+func TestWindowsShrinkWithChurnAndStayValid(t *testing.T) {
+	cfg := baseConfig(t)
+	horizon := sim.Time(cfg.Windows) * sim.Time(2*cfg.DHat)
+	cfg.Schedule = churn.UniformRemoval(cfg.Graph.Len(), 120, cfg.Hq, 0, horizon,
+		rand.New(rand.NewSource(2)))
+	rs, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].AliveAtStart > rs[i-1].AliveAtStart {
+			t.Fatalf("alive population grew between windows %d→%d", i-1, i)
+		}
+	}
+	first, last := rs[0], rs[len(rs)-1]
+	if last.HU >= first.HU {
+		t.Fatalf("H_U did not shrink across windows: %d → %d", first.HU, last.HU)
+	}
+	for _, r := range rs {
+		if !r.Valid {
+			t.Fatalf("window %d: max %v outside window bounds [%v,%v]",
+				r.Index, r.Value, r.Lower, r.Upper)
+		}
+		if r.Start != sim.Time(r.Index)*sim.Time(2*cfg.DHat) {
+			t.Fatalf("window %d misaligned: start %d", r.Index, r.Start)
+		}
+	}
+}
+
+// Per-window bounds are the whole point (§4.2): the late windows' H_C
+// must reflect only the current population, not the full initial one.
+func TestPerWindowBoundsTrackPopulation(t *testing.T) {
+	// Chain: failures cut the tail progressively.
+	n := 40
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.HostID(i), graph.HostID(i+1))
+	}
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(i + 1)
+	}
+	dHat := n + 1
+	win := sim.Time(2 * dHat)
+	cfg := Config{
+		Graph: g, Values: values, Hq: 0, Kind: agg.Max,
+		DHat: dHat, Windows: 3, Params: agg.Params{Vectors: 8, Bits: 32},
+		// Host 20 dies during window 1 (cutting 20.. off), host 10 during
+		// window 2.
+		Schedule: churn.Schedule{
+			{H: 20, T: win + 2},
+			{H: 10, T: 2*win + 2},
+		},
+		Seed: 3,
+	}
+	rs, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0: everything stable; max = 40 exactly.
+	if rs[0].Value != 40 || rs[0].Lower != 40 {
+		t.Fatalf("window 0: value %v lower %v, want 40/40", rs[0].Value, rs[0].Lower)
+	}
+	// Window 1: host 20 fails mid-window ⇒ H_C = {0..19}, lower = 20;
+	// upper still 40 (alive at start).
+	if rs[1].Lower != 20 || rs[1].Upper != 40 {
+		t.Fatalf("window 1 bounds [%v,%v], want [20,40]", rs[1].Lower, rs[1].Upper)
+	}
+	if !rs[1].Valid {
+		t.Fatalf("window 1: value %v invalid", rs[1].Value)
+	}
+	// Window 2: host 20 is gone but 21..39 are alive (merely unreachable
+	// — H_U counts alive hosts regardless of reachability), so upper
+	// stays 40; host 10 fails mid-window ⇒ H_C = {0..9}, lower = 10.
+	if rs[2].Lower != 10 || rs[2].Upper != 40 {
+		t.Fatalf("window 2 bounds [%v,%v], want [10,40]", rs[2].Lower, rs[2].Upper)
+	}
+	if rs[2].HU != 39 {
+		t.Fatalf("window 2 |H_U| = %d, want 39 (only host 20 dead at start)", rs[2].HU)
+	}
+	if !rs[2].Valid {
+		t.Fatalf("window 2: value %v invalid", rs[2].Value)
+	}
+}
+
+func TestCountWindowsValidWithinFactor(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Kind = agg.Count
+	horizon := sim.Time(cfg.Windows) * sim.Time(2*cfg.DHat)
+	cfg.Schedule = churn.UniformRemoval(cfg.Graph.Len(), 80, cfg.Hq, 0, horizon,
+		rand.New(rand.NewSource(4)))
+	rs, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !r.Valid {
+			t.Fatalf("window %d: count %v outside factor band [%v,%v]",
+				r.Index, r.Value, r.Lower, r.Upper)
+		}
+		if r.Messages == 0 {
+			t.Fatalf("window %d: no traffic", r.Index)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns options that make every experiment run in well under a
+// second.
+func tiny() Options { return Options{Scale: 0.02, Trials: 2, Seed: 1} }
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := r(tiny())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.ID != id {
+				t.Fatalf("table id %q != %q", tb.ID, id)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("no rows produced")
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Columns) {
+					t.Fatalf("row %v has %d cells, want %d", row, len(row), len(tb.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			tb.Render(&buf)
+			if !strings.Contains(buf.String(), tb.Title) {
+				t.Fatal("render missing title")
+			}
+		})
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty summary wrong")
+	}
+	s = summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.CI != 0 {
+		t.Fatalf("singleton summary: %+v", s)
+	}
+	if s.String() != "5.0" {
+		t.Fatalf("singleton string %q", s.String())
+	}
+	s = summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// sd = sqrt(2.5) ≈ 1.581; ci = 1.96·1.581/√5 ≈ 1.386.
+	if math.Abs(s.CI-1.386) > 0.01 {
+		t.Fatalf("ci = %v, want ≈ 1.386", s.CI)
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Fatalf("multi-sample string %q lacks ±", s.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if percentile(xs, 50) != 5 {
+		t.Fatalf("p50 = %d", percentile(xs, 50))
+	}
+	if percentile(xs, 100) != 10 {
+		t.Fatalf("p100 = %d", percentile(xs, 100))
+	}
+	if percentile(xs, 1) != 1 {
+		t.Fatalf("p1 = %d", percentile(xs, 1))
+	}
+	if percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(1000, 0.5, 10) != 500 {
+		t.Fatal("scaled(1000, .5) != 500")
+	}
+	if scaled(1000, 0.001, 10) != 10 {
+		t.Fatal("clamping failed")
+	}
+}
+
+// Fig6 convergence: at small scale, the mean accuracy ratio at c=16 must
+// be closer to 1 than at c=1 for the largest operand size.
+func TestFig6ConvergenceShape(t *testing.T) {
+	tb, err := Fig6(Options{Scale: 0.1, Trials: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[3], 64) // count at largest size
+		if err != nil {
+			t.Fatalf("bad cell %q", row[3])
+		}
+		return math.Abs(v - 1)
+	}
+	var c1, c16 []string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "1":
+			c1 = row
+		case "16":
+			c16 = row
+		}
+	}
+	if c1 == nil || c16 == nil {
+		t.Fatal("missing rows for c=1/c=16")
+	}
+	if dist(c16) > dist(c1)+0.05 {
+		t.Fatalf("accuracy did not improve with c: |c1-1|=%.2f |c16-1|=%.2f", dist(c1), dist(c16))
+	}
+}
+
+// Fig7 shape at reduced scale: wildfire's mean must stay at or above the
+// oracle lower bound at the highest churn level, spanningtree's must not
+// exceed wildfire's.
+func TestFig7ValidityShape(t *testing.T) {
+	tb, err := Fig7(Options{Scale: 0.02, Trials: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	parse := func(cell string) float64 {
+		cell = strings.SplitN(cell, "±", 2)[0]
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	lower := parse(last[1])
+	wf := parse(last[3])
+	st := parse(last[4])
+	if wf < lower/6 {
+		t.Fatalf("wildfire mean %v far below oracle lower %v", wf, lower)
+	}
+	if st > wf*1.5 {
+		t.Fatalf("spanningtree (%v) above wildfire (%v) under churn", st, wf)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "T",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:   []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n1,2\n3,4\n") || !strings.Contains(out, "# hello") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"fmt"
+
+	"validity/internal/agg"
+	"validity/internal/protocol"
+	"validity/internal/sim"
+	"validity/internal/topology"
+)
+
+// Fig10 reproduces "Communication costs on Random" (§6.6): messages sent
+// against network size |H| for a count query, with WILDFIRE run at several
+// overestimates D̂ (the curves must overlap — cost is independent of D̂),
+// SPANNINGTREE and DAG(k=2) near each other, and a Gnutella data point.
+func Fig10(opt Options) (*Table, error) {
+	opt = opt.defaults()
+	sizes := []int{5000, 10000, 20000, 40000}
+	var ns []int
+	for _, s := range sizes {
+		ns = append(ns, scaled(s, opt.Scale, 250))
+	}
+	t := &Table{
+		ID:    "fig10",
+		Title: "Communication costs on Random (count query, messages vs |H|)",
+		Columns: []string{"|H|", "wildfire D̂=D+2", "wildfire D̂=D+5", "wildfire D̂=D+10",
+			"spanningtree", "dag(k=2)"},
+	}
+	for _, n := range ns {
+		g, values, d := buildTopology(topology.Random, n, opt.Seed)
+		row := []string{fmt.Sprintf("%d", g.Len())}
+		for _, extra := range []int{2, 5, 10} {
+			tr, err := runTrial(g, values, agg.Count,
+				protoSpec{"wildfire", func(q protocol.Query) protocol.Protocol { return protocol.NewWildfire(q) }},
+				0, d+extra, opt.Seed, sim.MediumPointToPoint, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", tr.Stats.MessagesSent))
+		}
+		for _, spec := range []protoSpec{
+			{"spanningtree", func(q protocol.Query) protocol.Protocol { return protocol.NewSpanningTree(q) }},
+			{"dag(k=2)", func(q protocol.Query) protocol.Protocol { return protocol.NewDAG(q, 2) }},
+		} {
+			tr, err := runTrial(g, values, agg.Count, spec, 0, d+2, opt.Seed, sim.MediumPointToPoint, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", tr.Stats.MessagesSent))
+		}
+		t.AddRow(row...)
+		opt.progress("fig10: |H|=%d done", g.Len())
+	}
+	// Gnutella data point (paper overlays it on the same axes).
+	gn := scaled(topology.GnutellaSize, opt.Scale, 500)
+	g, values, d := buildTopology(topology.Gnutella, gn, opt.Seed)
+	wf, err := runTrial(g, values, agg.Count,
+		protoSpec{"wildfire", func(q protocol.Query) protocol.Protocol { return protocol.NewWildfire(q) }},
+		0, d+2, opt.Seed, sim.MediumPointToPoint, false)
+	if err != nil {
+		return nil, err
+	}
+	st, err := runTrial(g, values, agg.Count,
+		protoSpec{"spanningtree", func(q protocol.Query) protocol.Protocol { return protocol.NewSpanningTree(q) }},
+		0, d+2, opt.Seed, sim.MediumPointToPoint, false)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("gnutella point |H|=%d: wildfire=%d spanningtree=%d (ratio %.1f×)",
+			g.Len(), wf.Stats.MessagesSent, st.Stats.MessagesSent,
+			float64(wf.Stats.MessagesSent)/float64(st.Stats.MessagesSent)),
+		"paper shape: wildfire curves for different D̂ overlap; wildfire ≈ 4-5× spanningtree; dag ≈ spanningtree")
+	return t, nil
+}
+
+// Fig11 reproduces "Communication costs on Grid" (§6.6): grids with
+// broadcast (wireless) radios, showing count/max/min under WILDFIRE
+// against SPANNINGTREE and DAG. The paper's findings: DAG overlaps
+// SPANNINGTREE (broadcast makes extra parents free), WILDFIRE count ≈ 5×
+// SPANNINGTREE, and WILDFIRE min costs *less* than SPANNINGTREE thanks to
+// early aggregation during broadcast.
+func Fig11(opt Options) (*Table, error) {
+	opt = opt.defaults()
+	sizes := []int{2500, 5625, 10000}
+	t := &Table{
+		ID:    "fig11",
+		Title: "Communication costs on Grid (wireless medium, messages vs |H|)",
+		Columns: []string{"|H|", "wildfire-count", "wildfire-max", "wildfire-min",
+			"spanningtree", "dag(k=2)"},
+	}
+	for _, s := range sizes {
+		n := scaled(s, opt.Scale, 100)
+		g, values, d := buildTopology(topology.Grid, n, opt.Seed)
+		row := []string{fmt.Sprintf("%d", g.Len())}
+		for _, kind := range []agg.Kind{agg.Count, agg.Max, agg.Min} {
+			tr, err := runTrial(g, values, kind,
+				protoSpec{"wildfire", func(q protocol.Query) protocol.Protocol { return protocol.NewWildfire(q) }},
+				0, d+2, opt.Seed, sim.MediumWireless, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", tr.Stats.MessagesSent))
+		}
+		for _, spec := range []protoSpec{
+			{"spanningtree", func(q protocol.Query) protocol.Protocol { return protocol.NewSpanningTree(q) }},
+			{"dag(k=2)", func(q protocol.Query) protocol.Protocol { return protocol.NewDAG(q, 2) }},
+		} {
+			tr, err := runTrial(g, values, agg.Count, spec, 0, d+2, opt.Seed, sim.MediumWireless, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", tr.Stats.MessagesSent))
+		}
+		t.AddRow(row...)
+		opt.progress("fig11: |H|=%d done", g.Len())
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: dag overlaps spanningtree under wireless; wildfire-count ≈ 5× spanningtree;",
+		"wildfire-max < wildfire-count; wildfire-min < spanningtree (early aggregation, §6.6)")
+	return t, nil
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+
+	"validity/internal/agg"
+	"validity/internal/sim"
+	"validity/internal/topology"
+)
+
+// validityFigure runs the §6.5 experiment: query result v against the
+// number of departures R for every protocol, with the ORACLE's H_C / H_U
+// bounds as the frame of reference, averaged over trials with 95% CIs.
+func validityFigure(id, title string, topo topology.Kind, n int, kind agg.Kind,
+	medium sim.Medium, opt Options) (*Table, error) {
+	opt = opt.defaults()
+	n = scaled(n, opt.Scale, 200)
+	g, values, d := buildTopology(topo, n, opt.Seed)
+	dHat := d + 2
+
+	rs := []int{256, 512, 1024, 2048, 4096}
+	maxR := g.Len() / 4
+	var rsScaled []int
+	for _, r := range rs {
+		r = scaled(r, opt.Scale, 4)
+		if r > maxR {
+			r = maxR
+		}
+		if len(rsScaled) > 0 && r <= rsScaled[len(rsScaled)-1] {
+			continue
+		}
+		rsScaled = append(rsScaled, r)
+	}
+
+	specs := comparedProtocols()
+	cols := []string{"R", "oracle-lower", "oracle-upper"}
+	for _, s := range specs {
+		cols = append(cols, s.name)
+	}
+	t := &Table{ID: id, Title: title, Columns: cols}
+
+	for _, r := range rsScaled {
+		var lower, upper []float64
+		means := make([][]float64, len(specs))
+		for trial := 0; trial < opt.Trials; trial++ {
+			seed := opt.Seed + int64(trial)*7919
+			for si, spec := range specs {
+				tr, err := runTrial(g, values, kind, spec, r, dHat, seed, medium, si == 0)
+				if err != nil {
+					return nil, err
+				}
+				means[si] = append(means[si], tr.Value)
+				if si == 0 {
+					lower = append(lower, tr.Bounds.LowerValue)
+					upper = append(upper, tr.Bounds.UpperValue)
+				}
+			}
+		}
+		row := []string{fmt.Sprintf("%d", r),
+			summarize(lower).String(), summarize(upper).String()}
+		for si := range specs {
+			row = append(row, summarize(means[si]).String())
+		}
+		t.AddRow(row...)
+		opt.progress("%s: R=%d done", id, r)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: WILDFIRE stays within the oracle bounds at every R;",
+		"SPANNINGTREE and DAG fall below oracle-lower as R grows, DAG(k=3) > DAG(k=2) > ST",
+		fmt.Sprintf("|H|=%d |E|=%d D̂=%d; count/sum cells are FM estimates (c=%d)",
+			g.Len(), g.NumEdges(), dHat, agg.DefaultParams().Vectors))
+	return t, nil
+}
+
+// Fig7 reproduces "Count query on the Gnutella topology" (§6.5): result v
+// vs departures R with ORACLE bounds.
+func Fig7(opt Options) (*Table, error) {
+	return validityFigure("fig7", "Count query on the Gnutella topology",
+		topology.Gnutella, topology.GnutellaSize, agg.Count, sim.MediumPointToPoint, opt)
+}
+
+// Fig8 reproduces "Sum query on the Gnutella topology" (§6.5).
+func Fig8(opt Options) (*Table, error) {
+	return validityFigure("fig8", "Sum query on the Gnutella topology",
+		topology.Gnutella, topology.GnutellaSize, agg.Sum, sim.MediumPointToPoint, opt)
+}
+
+// Fig9 reproduces "Count query on the Grid topology" (§6.5); the paper's
+// grid is 100×100 = 10K sensors with broadcast radios.
+func Fig9(opt Options) (*Table, error) {
+	return validityFigure("fig9", "Count query on the Grid topology",
+		topology.Grid, 10000, agg.Count, sim.MediumWireless, opt)
+}

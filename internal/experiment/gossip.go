@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"math/rand"
+	"validity/internal/agg"
+	"validity/internal/churn"
+	"validity/internal/protocol"
+	"validity/internal/sim"
+	"validity/internal/topology"
+)
+
+// GossipComparison is an extension experiment beyond the paper's figures:
+// it quantifies §2.2's qualitative claim that epidemic algorithms offer
+// only eventual consistency. Push-sum gossip (Kempe et al. [19]) is run
+// for increasing round budgets against WILDFIRE on the same topology,
+// failure-free and under churn, reporting accuracy and message cost. The
+// point: gossip converges with enough rounds — eventual consistency — but
+// no individual answer carries a guarantee the user could check, whereas
+// WILDFIRE's answers ship H_C/H_U validity bounds at the cost of FM
+// estimation error and a message premium.
+func GossipComparison(opt Options) (*Table, error) {
+	opt = opt.defaults()
+	n := scaled(20000, opt.Scale, 300)
+	g, values, d := buildTopology(topology.Random, n, opt.Seed)
+	truth := agg.Exact(agg.Avg, values)
+
+	t := &Table{
+		ID:    "gossip",
+		Title: "Push-sum gossip (eventual consistency, §2.2) vs WILDFIRE (validity)",
+		Columns: []string{"rounds", "gossip rel.err (no churn)", "gossip msgs",
+			"gossip rel.err (10% churn)", "wildfire rel.err", "wildfire msgs"},
+	}
+
+	r := g.Len() / 10
+	q := protocol.Query{Kind: agg.Avg, Hq: 0, DHat: d + 2, Params: agg.Params{Vectors: 32, Bits: 32}}
+
+	// One WILDFIRE reference run under the same churn draw.
+	wfNet := sim.NewNetwork(sim.Config{Graph: g, Seed: opt.Seed, Values: values})
+	wfSched := churn.UniformRemoval(g.Len(), r, q.Hq, 0, q.Deadline(), rand.New(rand.NewSource(opt.Seed)))
+	wfSched.Apply(wfNet)
+	wfV, wfStats, err := protocol.Run(protocol.NewWildfire(q), wfNet)
+	if err != nil {
+		return nil, err
+	}
+	wfErr := math.Abs(wfV/truth - 1)
+
+	for _, rounds := range []int{10, 20, 40, 80} {
+		clean := protocol.NewGossip(q, rounds)
+		cleanNet := sim.NewNetwork(sim.Config{Graph: g, Seed: opt.Seed, Values: values})
+		cv, cStats, err := protocol.Run(clean, cleanNet)
+		if err != nil {
+			return nil, err
+		}
+		churned := protocol.NewGossip(q, rounds)
+		churnNet := sim.NewNetwork(sim.Config{Graph: g, Seed: opt.Seed, Values: values})
+		sched := churn.UniformRemoval(g.Len(), r, q.Hq, 0, sim.Time(rounds),
+			rand.New(rand.NewSource(opt.Seed)))
+		sched.Apply(churnNet)
+		hv, _, err := protocol.Run(churned, churnNet)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", rounds),
+			fmt.Sprintf("%.3f", math.Abs(cv/truth-1)),
+			fmt.Sprintf("%d", cStats.MessagesSent),
+			fmt.Sprintf("%.3f", math.Abs(hv/truth-1)),
+			fmt.Sprintf("%.3f", wfErr),
+			fmt.Sprintf("%d", wfStats.MessagesSent))
+		opt.progress("gossip: rounds=%d done", rounds)
+	}
+	t.Notes = append(t.Notes,
+		"extension beyond the paper: §2.2 contrast made quantitative;",
+		"shape: gossip converges with enough rounds (eventual consistency) and for avg under",
+		"value-independent churn it even converges accurately — but no run carries a per-answer",
+		"guarantee: the user cannot tell a converged answer from a mid-churn one. WILDFIRE's",
+		"answer costs FM estimation error plus its message premium, and in exchange every",
+		"answer ships checkable H_C/H_U validity bounds (the paper's trade)")
+	return t, nil
+}

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one experiment table.
+type Runner func(Options) (*Table, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9":    Fig9,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"fig12":   Fig12,
+	"fig13a":  Fig13a,
+	"fig13b":  Fig13b,
+	"capture": CaptureRecapture,
+	"ring":    RingEstimator,
+	"gossip":  GossipComparison,
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup returns the runner for id.
+func Lookup(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return r, nil
+}

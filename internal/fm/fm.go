@@ -1,0 +1,246 @@
+// Package fm implements Flajolet–Martin probabilistic counting [FM83] and
+// the paper's duplicate-insensitive distributed count and sum operators
+// built on it (§5.2).
+//
+// A Sketch holds c bit-vectors B_1..B_c. Inserting one (distinct) element
+// sets, in each vector, bit b where b is geometrically distributed:
+// Pr[b = i] = 2^{-(i+1)} — the "coin toss sequence" of §5.2. Two sketches
+// are combined with bitwise OR, which is commutative, associative and
+// idempotent, so re-combining the same partial any number of times leaves
+// the result unchanged; that is precisely the duplicate insensitivity the
+// WILDFIRE convergecast needs.
+//
+// The estimate is 2^z̄/φ where z_i is the index of the lowest zero bit of
+// B_i, z̄ their mean, and φ ≈ 0.77351 the Flajolet–Martin correction
+// constant.
+//
+// For the sum operator a host holding value h inserts h distinct
+// pseudo-elements (§5.2). AddN does this literally for small h and
+// switches to an exact-distribution per-bit sampling fast path for large
+// h; the ablation bench in the repository root measures the difference and
+// a property test checks the two paths are statistically indistinguishable.
+package fm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// Phi is the Flajolet–Martin bias correction constant: E[2^z] ≈ φ·m.
+const Phi = 0.77351
+
+// DefaultVectors is the repetition count c the paper finds sufficient
+// ("the number of repetitions required are small (≈ 8)", §6.4).
+const DefaultVectors = 8
+
+// DefaultBits is the bit-vector length. The paper sizes vectors at
+// O(log |V|) and notes 32 bits suffice unless |H| > 2^32 (§5.2).
+const DefaultBits = 32
+
+// Sketch is an FM synopsis: c bit-vectors of up to 64 bits each.
+type Sketch struct {
+	vecs []uint64
+	bits int
+}
+
+// NewSketch returns an empty sketch with c vectors of `bits` bits
+// (1 ≤ bits ≤ 64).
+func NewSketch(c, bits int) *Sketch {
+	if c < 1 {
+		panic("fm: need at least one vector")
+	}
+	if bits < 1 || bits > 64 {
+		panic(fmt.Sprintf("fm: bits must be in [1,64], got %d", bits))
+	}
+	return &Sketch{vecs: make([]uint64, c), bits: bits}
+}
+
+// NewDefaultSketch returns a sketch with the paper's default parameters.
+func NewDefaultSketch() *Sketch { return NewSketch(DefaultVectors, DefaultBits) }
+
+// Vectors returns c, the number of bit-vectors.
+func (s *Sketch) Vectors() int { return len(s.vecs) }
+
+// Bits returns the length of each bit-vector.
+func (s *Sketch) Bits() int { return s.bits }
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	return &Sketch{vecs: append([]uint64(nil), s.vecs...), bits: s.bits}
+}
+
+// geometricBit draws the index of the last Tail before the first Head in a
+// fair coin-toss sequence: Pr[b=i] = 2^{-(i+1)}, truncated to the vector
+// width.
+func geometricBit(rng *rand.Rand, width int) int {
+	// A 63-bit uniform word: the number of trailing zeros is geometric.
+	u := rng.Int63()
+	b := bits.TrailingZeros64(uint64(u) | 1<<62) // guarantee termination
+	if b >= width {
+		b = width - 1
+	}
+	return b
+}
+
+// AddDistinct inserts one element assumed distinct from all others (each
+// host "pretends to have an element distinct from other hosts", §5.2).
+func (s *Sketch) AddDistinct(rng *rand.Rand) {
+	for i := range s.vecs {
+		s.vecs[i] |= 1 << geometricBit(rng, s.bits)
+	}
+}
+
+// addNExactThreshold is the addend size above which AddN switches from
+// literal repeated insertion to the per-bit Bernoulli fast path.
+const addNExactThreshold = 64
+
+// AddN inserts n distinct pseudo-elements, the §5.2 sum encoding: a host
+// with value n contributes n elements, OR-folded locally into one sketch.
+func (s *Sketch) AddN(rng *rand.Rand, n int64) {
+	if n <= 0 {
+		return
+	}
+	if n <= addNExactThreshold {
+		for k := int64(0); k < n; k++ {
+			s.AddDistinct(rng)
+		}
+		return
+	}
+	s.addNFast(rng, n)
+}
+
+// addNFast sets each bit independently with its exact marginal probability
+// 1 − (1 − p_b)^n, p_b = 2^{-(b+1)} (bit widths capped: the top bit
+// absorbs the geometric tail). Bits of a vector are not independent under
+// literal insertion, but the estimator depends only on the lowest zero
+// bit, whose distribution is governed by the marginals of the low bits,
+// where the dependence is negligible for large n; the property test
+// TestSumFastPathMatchesExact quantifies this.
+func (s *Sketch) addNFast(rng *rand.Rand, n int64) {
+	for i := range s.vecs {
+		for b := 0; b < s.bits; b++ {
+			if s.vecs[i]&(1<<b) != 0 {
+				continue
+			}
+			var p float64
+			if b == s.bits-1 {
+				p = math.Pow(2, -float64(b)) // tail mass 2^{-b}
+			} else {
+				p = math.Pow(2, -float64(b+1))
+			}
+			q := -math.Expm1(float64(n) * math.Log1p(-p)) // 1-(1-p)^n
+			if rng.Float64() < q {
+				s.vecs[i] |= 1 << b
+			}
+		}
+	}
+}
+
+// Or merges other into s (bitwise OR per vector). Both sketches must have
+// identical dimensions.
+func (s *Sketch) Or(other *Sketch) {
+	if len(s.vecs) != len(other.vecs) || s.bits != other.bits {
+		panic(fmt.Sprintf("fm: OR of mismatched sketches (%d/%d vs %d/%d)",
+			len(s.vecs), s.bits, len(other.vecs), other.bits))
+	}
+	for i := range s.vecs {
+		s.vecs[i] |= other.vecs[i]
+	}
+}
+
+// Equal reports whether two sketches have identical bit content.
+func (s *Sketch) Equal(other *Sketch) bool {
+	if len(s.vecs) != len(other.vecs) || s.bits != other.bits {
+		return false
+	}
+	for i := range s.vecs {
+		if s.vecs[i] != other.vecs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether every bit set in other is also set in s; used to
+// verify sketch-level Single-Site Validity (the query host's final sketch
+// must cover the OR of all H_C sketches and be covered by the OR of all
+// H_U sketches).
+func (s *Sketch) Covers(other *Sketch) bool {
+	if len(s.vecs) != len(other.vecs) || s.bits != other.bits {
+		return false
+	}
+	for i := range s.vecs {
+		if other.vecs[i]&^s.vecs[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// lowestZero returns z_i: the index of the lowest 0 bit in vector i (equal
+// to bits if the vector is saturated).
+func (s *Sketch) lowestZero(i int) int {
+	z := bits.TrailingZeros64(^s.vecs[i])
+	if z > s.bits {
+		z = s.bits
+	}
+	return z
+}
+
+// Estimate returns the FM cardinality estimate 2^z̄/φ, or 0 for an empty
+// sketch.
+func (s *Sketch) Estimate() float64 {
+	sum := 0.0
+	empty := true
+	for i := range s.vecs {
+		if s.vecs[i] != 0 {
+			empty = false
+		}
+		sum += float64(s.lowestZero(i))
+	}
+	if empty {
+		return 0
+	}
+	z := sum / float64(len(s.vecs))
+	return math.Pow(2, z) / Phi
+}
+
+// String summarizes the sketch.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("fm.Sketch{c=%d bits=%d est=%.1f}", len(s.vecs), s.bits, s.Estimate())
+}
+
+// Words exposes the raw vectors (for serialization); the returned slice is
+// a copy.
+func (s *Sketch) Words() []uint64 { return append([]uint64(nil), s.vecs...) }
+
+// FromWords reconstructs a sketch from raw vectors.
+func FromWords(words []uint64, bitsPerVec int) *Sketch {
+	sk := NewSketch(len(words), bitsPerVec)
+	copy(sk.vecs, words)
+	return sk
+}
+
+// CountSet builds the count synopsis for a set of m distinct elements in
+// one shot (the centralized FM algorithm used in §6.4's accuracy
+// experiment): it inserts m distinct elements into a fresh sketch.
+func CountSet(m int, c, bitsPerVec int, rng *rand.Rand) *Sketch {
+	s := NewSketch(c, bitsPerVec)
+	for i := 0; i < m; i++ {
+		s.AddDistinct(rng)
+	}
+	return s
+}
+
+// SumSet builds the sum synopsis of the given values (each value v
+// contributes v distinct pseudo-elements), as a centralized reference for
+// the distributed sum operator.
+func SumSet(values []int64, c, bitsPerVec int, rng *rand.Rand) *Sketch {
+	s := NewSketch(c, bitsPerVec)
+	for _, v := range values {
+		s.AddN(rng, v)
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+// Package oracle implements the paper's ORACLE (§6.2): an omniscient
+// observer of all events in G that computes the Single-Site Validity
+// bounds for a query issued at h_q over the interval [0, T]:
+//
+//   - H_U = ∪_t H_t, the hosts alive at some instant of the interval
+//     (with no joins modeled, H_U is simply the initial host set);
+//   - H_C, the hosts with at least one stable path to h_q: a path all of
+//     whose hosts (and edges) stay alive during the entire interval (§4.1).
+//
+// Because link failures are not modeled separately, a stable path is
+// exactly a path inside the subgraph induced by hosts that survive [0, T];
+// H_C is therefore the connected component of h_q in that subgraph
+// (provided h_q itself survives, which experiments guarantee by protecting
+// it from churn).
+//
+// The oracle also evaluates the q(H_C) and q(H_U) bounds for any aggregate
+// and provides the §2.4 post-hoc validity metrics (Completeness, Relative
+// Error) that best-effort work used before Single-Site Validity existed.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"validity/internal/agg"
+	"validity/internal/churn"
+	"validity/internal/graph"
+	"validity/internal/sim"
+)
+
+// Bounds captures the oracle's view of one query interval.
+type Bounds struct {
+	// HC is the lower-bounding host set (stable-path reachable).
+	HC []graph.HostID
+	// HU is the upper-bounding host set (alive at some instant).
+	HU []graph.HostID
+	// LowerValue and UpperValue are q(H_C) and q(H_U). For monotone
+	// aggregates (count, sum over non-negative values, max) Lower ≤ Upper;
+	// for min the inequality flips and for avg neither bounds the other —
+	// Valid() handles each kind.
+	LowerValue float64
+	UpperValue float64
+	// Kind is the aggregate the values were computed for.
+	Kind agg.Kind
+}
+
+// Compute derives the bounds for a query issued at hq at time 0 with
+// deadline T, given the initial topology g, per-host values, and the churn
+// schedule. Hosts that fail strictly after T count as survivors of the
+// interval.
+func Compute(g *graph.Graph, values []int64, hq graph.HostID, sched churn.Schedule, T sim.Time, kind agg.Kind) Bounds {
+	if len(values) != g.Len() {
+		panic(fmt.Sprintf("oracle: %d values for %d hosts", len(values), g.Len()))
+	}
+	failAt := make(map[graph.HostID]sim.Time, len(sched))
+	for _, f := range sched {
+		if cur, ok := failAt[f.H]; !ok || f.T < cur {
+			failAt[f.H] = f.T
+		}
+	}
+	survives := func(h graph.HostID) bool {
+		t, ok := failAt[h]
+		return !ok || t > T
+	}
+	// H_U: alive at some instant in [0, T] — every initial host qualifies
+	// (failures only remove; joins are not modeled in the experiments).
+	hu := make([]graph.HostID, 0, g.Len())
+	for h := 0; h < g.Len(); h++ {
+		hu = append(hu, graph.HostID(h))
+	}
+	// H_C: component of hq among interval survivors.
+	var hc []graph.HostID
+	if survives(hq) {
+		hc = g.Component(hq, survives)
+	}
+	b := Bounds{HC: hc, HU: hu, Kind: kind}
+	b.LowerValue = agg.Exact(kind, gather(values, hc))
+	b.UpperValue = agg.Exact(kind, gather(values, hu))
+	return b
+}
+
+func gather(values []int64, hosts []graph.HostID) []int64 {
+	out := make([]int64, len(hosts))
+	for i, h := range hosts {
+		out[i] = values[h]
+	}
+	return out
+}
+
+// Valid reports whether a reported result v satisfies Single-Site
+// Validity's value-level consequence: v = q(H) for some H_C ⊆ H ⊆ H_U.
+// For monotone aggregates this is exactly Lower ≤ v ≤ Upper (count, sum of
+// non-negative values, and max grow with H; min shrinks). For avg any
+// value between the min and max attribute value of H_U could be q(H) of
+// some valid H, so the check is necessarily looser; callers doing
+// sketch-level verification should use SketchValid instead.
+//
+// eps loosens the comparison for estimate-based results (count/sum/avg
+// report FM estimates, which Theorem 5.3 only bounds within a factor).
+func (b Bounds) Valid(v, eps float64) bool {
+	lo, hi := b.LowerValue, b.UpperValue
+	if b.Kind == agg.Min {
+		lo, hi = hi, lo
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return v >= lo-eps && v <= hi+eps
+}
+
+// ValidFactor is Valid with multiplicative slack: accepts v within
+// [Lower/f, Upper·f] (for the monotone orientation). Used for FM-estimate
+// results where Theorem 5.2 bounds error by a factor.
+func (b Bounds) ValidFactor(v, f float64) bool {
+	if f < 1 {
+		f = 1
+	}
+	lo, hi := b.LowerValue, b.UpperValue
+	if b.Kind == agg.Min {
+		lo, hi = hi, lo
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return v >= lo/f && v <= hi*f
+}
+
+// Completeness is the §2.4 metric: the fraction of hosts in the network
+// whose data contributed to the result, given the set that actually
+// contributed.
+func Completeness(contributed, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(contributed) / float64(total)
+}
+
+// RelativeError is the §2.4 metric |v̂/v − 1|.
+func RelativeError(reported, truth float64) float64 {
+	if truth == 0 {
+		if reported == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(reported/truth - 1)
+}

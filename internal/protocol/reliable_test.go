@@ -1,0 +1,144 @@
+package protocol
+
+import (
+	"testing"
+
+	"validity/internal/agg"
+	"validity/internal/graph"
+	"validity/internal/sim"
+	"validity/internal/topology"
+)
+
+func TestReliableAllReportFailureFreeMatchesPlain(t *testing.T) {
+	g, vals := fig5Network()
+	for _, k := range []agg.Kind{agg.Min, agg.Max, agg.Count, agg.Sum} {
+		q := Query{Kind: k, Hq: 0, DHat: 4, Params: params()}
+		plain := NewAllReport(q)
+		vp, _, err := Run(plain, newNet(g, vals, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := NewReliableAllReport(q)
+		vr, _, err := Run(rel, newNet(g, vals, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vp != vr {
+			t.Fatalf("%v: reliable (%v) differs from plain (%v) without churn", k, vr, vp)
+		}
+	}
+}
+
+// The scenario AllReport documents as its loss mode: a relay dies after
+// forwarding the broadcast but before relaying a downstream report. The
+// reliable variant re-parents and recovers the report.
+func TestReliableAllReportReroutesAroundRelayFailure(t *testing.T) {
+	// Diamond: 0-(1,2)-3. Host 3's reverse path goes through whichever of
+	// 1,2 delivered the broadcast first; kill both candidates one at a
+	// time to cover either choice deterministically.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	vals := []int64{1, 1, 1, 1}
+	// Generous D̂: rerouting consumes detection latency (T_hb + δ).
+	q := Query{Kind: agg.Count, Hq: 0, DHat: 10, Params: params()}
+
+	for _, victim := range []graph.HostID{1, 2} {
+		plain := NewAllReport(q)
+		nwP := newNet(g, vals, 1)
+		nwP.FailAt(victim, 2) // after broadcast passes (t=1), before 3's report relays (t=3)
+		vp, _, err := Run(plain, nwP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := NewReliableAllReport(q)
+		nwR := newNet(g, vals, 1)
+		nwR.FailAt(victim, 2)
+		vr, _, err := Run(rel, nwR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vr < vp {
+			t.Fatalf("victim %d: reliable (%v) worse than plain (%v)", victim, vr, vp)
+		}
+		// All three survivors must be counted; the victim's own report may
+		// also have escaped before its death (victim ∈ H_U), so 4 is fine.
+		if vr < 3 || vr > 4 {
+			t.Fatalf("victim %d: reliable count = %v, want 3 or 4", victim, vr)
+		}
+	}
+}
+
+func TestReliableAllReportChainRecovery(t *testing.T) {
+	// Chain with a bypass: 0-1-2 and 0-3-2. Host 2 reports through its
+	// first parent; killing that parent must not lose host 2.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 2)
+	vals := []int64{10, 20, 99, 30}
+	q := Query{Kind: agg.Max, Hq: 0, DHat: 12, Params: params()}
+	rel := NewReliableAllReport(q)
+	nw := newNet(g, vals, 1)
+	nw.FailAt(1, 2)
+	v, _, err := Run(rel, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 99 {
+		t.Fatalf("reliable max = %v, want 99 recovered via bypass", v)
+	}
+}
+
+func TestReliableAllReportNoLoopStorm(t *testing.T) {
+	// Densely connected graph with churn: the per-origin relay guard must
+	// keep traffic bounded well below the deadline-long worst case.
+	g := topology.NewRandom(200, 6, 3)
+	vals := make([]int64, g.Len())
+	for i := range vals {
+		vals[i] = 1
+	}
+	q := Query{Kind: agg.Count, Hq: 0, DHat: 14, Params: params()}
+	rel := NewReliableAllReport(q)
+	nw := newNet(g, vals, 3)
+	for i := 1; i <= 20; i++ {
+		nw.FailAt(graph.HostID(i*7), sim.Time(1+i%10))
+	}
+	v, stats, err := Run(rel, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 100 {
+		t.Fatalf("count %v collapsed under churn", v)
+	}
+	// Heartbeats dominate: every host beats to all neighbors each T_hb,
+	// ≈ hosts × (deadline/T_hb) × degree messages; a loop storm would
+	// blow far past this.
+	bound := int64(float64(g.Len())*float64(q.Deadline())*(g.AvgDegree()+1)) +
+		int64(g.NumEdges()*4)
+	if stats.MessagesSent > bound {
+		t.Fatalf("traffic %d exceeds loop-storm bound %d", stats.MessagesSent, bound)
+	}
+}
+
+func TestReliableAllReportDefaults(t *testing.T) {
+	q := Query{Kind: agg.Count, Hq: 0, DHat: 3, Params: params()}
+	r := NewReliableAllReport(q)
+	if r.Thb != 2 || r.Name() != "reliable-allreport" || r.Deadline() != 6 {
+		t.Fatalf("defaults wrong: %+v", r)
+	}
+	if _, ok := r.Result(); ok {
+		t.Fatal("result before install should not be ok")
+	}
+	g, vals := fig5Network()
+	r2 := &ReliableAllReport{Query: q, Thb: 0} // zero Thb falls back to 2
+	if err := r2.Install(newNet(g, vals, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Thb != 2 {
+		t.Fatalf("Thb fallback = %d, want 2", r2.Thb)
+	}
+}

@@ -1,0 +1,291 @@
+package protocol
+
+import (
+	"validity/internal/agg"
+	"validity/internal/graph"
+	"validity/internal/sim"
+)
+
+// Wildfire is the paper's protocol (§5.1). Broadcast floods the query with
+// the sender's partial aggregate piggybacked (footnote 4); from the moment
+// a host becomes active it participates in convergecast: whenever its
+// partial aggregate changes it refloods the new partial to its neighbors.
+// Because the combine function is duplicate-insensitive, values may travel
+// along every surviving path, which is what buys Single-Site Validity.
+//
+// The protocol operates in the paper's synchronous-round style: all
+// messages arriving at a host in the same tick are combined first and at
+// most one updated partial per tick is sent out (Example 5.1 walks exactly
+// such rounds). Per-neighbor duplicate suppression skips neighbors that
+// are already known to hold the host's current partial — the Fig. 4 /
+// Example 5.1 "skips sending the value back" refinement generalized.
+//
+// Two engineering optimizations from §5.3 are implemented:
+//
+//   - EarlyDeadline: a host at distance l from h_q participates until
+//     (2D̂ − l + 1)δ instead of 2D̂δ (a message sent later could not reach
+//     h_q in time anyway).
+//   - The wireless medium optimization is inherited from the simulator:
+//     under sim.MediumWireless a send-to-all-neighbors costs one message.
+type Wildfire struct {
+	Query Query
+	// EarlyDeadline enables the per-distance participation deadline.
+	EarlyDeadline bool
+	// ValueFn, when non-nil, overrides the attribute value a host
+	// contributes; it receives the host ID and its broadcast distance
+	// from h_q. This realizes the ad-hoc query model of §3.1 (values
+	// "generated at each host in a query-dependent manner") — the
+	// DiameterProbe uses it to aggregate distances instead of stored
+	// values.
+	ValueFn func(h graph.HostID, dist int) int64
+
+	hosts []*wfHost
+}
+
+// NewWildfire returns an uninstalled WILDFIRE instance with the §5.3
+// early-deadline optimization enabled (as in the paper's evaluation).
+func NewWildfire(q Query) *Wildfire {
+	return &Wildfire{Query: q, EarlyDeadline: true}
+}
+
+// Name implements Protocol.
+func (w *Wildfire) Name() string { return "wildfire" }
+
+// Deadline implements Protocol.
+func (w *Wildfire) Deadline() sim.Time { return w.Query.Deadline() }
+
+// Install implements Protocol.
+func (w *Wildfire) Install(nw *sim.Network) error {
+	if err := w.Query.Validate(nw.Graph()); err != nil {
+		return err
+	}
+	n := nw.Graph().Len()
+	w.hosts = make([]*wfHost, n)
+	for i := 0; i < n; i++ {
+		h := &wfHost{w: w, isHq: graph.HostID(i) == w.Query.Hq}
+		w.hosts[i] = h
+		nw.SetHandler(graph.HostID(i), h)
+	}
+	return nil
+}
+
+// Result implements Protocol: the partial aggregate at h_q at the
+// deadline.
+func (w *Wildfire) Result() (float64, bool) {
+	hq := w.hosts[w.Query.Hq]
+	if hq == nil || !hq.active || hq.partial == nil {
+		return 0, false
+	}
+	return hq.partial.Result(), true
+}
+
+// Partial exposes h_q's final partial aggregate (the oracle uses its
+// sketches for sketch-level validity verification).
+func (w *Wildfire) Partial() agg.Partial {
+	hq := w.hosts[w.Query.Hq]
+	if hq == nil {
+		return nil
+	}
+	return hq.partial
+}
+
+// HostPartial exposes any host's final partial (tests use it).
+func (w *Wildfire) HostPartial(h graph.HostID) agg.Partial { return w.hosts[h].partial }
+
+// HostActive reports whether host h ever became active.
+func (w *Wildfire) HostActive(h graph.HostID) bool { return w.hosts[h].active }
+
+// HostInitial returns the partial aggregate host h held the instant it
+// became active, before combining anything — its own contribution to the
+// query. The oracle's sketch-level validity check needs these: h_q's final
+// sketch must cover the OR of the initial sketches of every host in H_C
+// and be covered by the OR over H_U (Theorem 5.3).
+func (w *Wildfire) HostInitial(h graph.HostID) agg.Partial { return w.hosts[h].initial }
+
+// wfBroadcast is the Phase I message [q, 0, D̂] with the sender's partial
+// aggregate piggybacked (§5.1 footnote 4). Hop is the sender's distance
+// from h_q plus one.
+type wfBroadcast struct {
+	Hop int
+	A   agg.Partial
+}
+
+// wfConverge is the Phase II message [q, A_h'].
+type wfConverge struct {
+	A agg.Partial
+}
+
+const wfTagFlush = 3
+
+type wfHost struct {
+	w       *Wildfire
+	isHq    bool
+	active  bool
+	dist    int // hops from h_q along the activation path
+	partial agg.Partial
+	initial agg.Partial // own contribution, frozen at activation
+	// lastSent[n] is the partial most recently sent to neighbor n;
+	// a neighbor already holding our exact state is skipped on flush.
+	lastSent map[graph.HostID]agg.Partial
+	// lastRecv[n] is the partial most recently received from neighbor n;
+	// a neighbor whose known state dominates ours is skipped on flush
+	// (it already holds everything we could tell it).
+	lastRecv map[graph.HostID]agg.Partial
+	dirty    bool
+	flushing bool // a flush timer is pending for the current tick
+}
+
+// limit is this host's participation deadline.
+func (h *wfHost) limit() sim.Time {
+	full := sim.Time(2 * h.w.Query.DHat)
+	if !h.w.EarlyDeadline || !h.active {
+		return full
+	}
+	early := sim.Time(2*h.w.Query.DHat - h.dist + 1)
+	if early > full {
+		return full
+	}
+	return early
+}
+
+func (h *wfHost) Start(ctx *sim.Context) {
+	if !h.isHq {
+		return
+	}
+	h.activate(ctx, 0, nil)
+	bc := wfBroadcast{Hop: 1, A: h.partial.Clone()}
+	ctx.SendAll(bc)
+	h.noteSentToAll(ctx, graph.None)
+}
+
+// activate initializes the host's state; incoming, when non-nil, is the
+// piggybacked partial of the activating broadcast.
+func (h *wfHost) activate(ctx *sim.Context, dist int, incoming agg.Partial) {
+	h.active = true
+	h.dist = dist
+	value := ctx.Value()
+	if h.w.ValueFn != nil {
+		value = h.w.ValueFn(ctx.Self(), dist)
+	}
+	h.partial = agg.NewPartial(h.w.Query.Kind, value, h.w.Query.Params, ctx.Rand())
+	h.initial = h.partial.Clone()
+	h.lastSent = make(map[graph.HostID]agg.Partial, ctx.Degree())
+	h.lastRecv = make(map[graph.HostID]agg.Partial, ctx.Degree())
+	if incoming != nil {
+		h.partial.Combine(incoming)
+	}
+}
+
+func (h *wfHost) noteSentToAll(ctx *sim.Context, skip graph.HostID) {
+	snapshot := h.partial.Clone()
+	for _, n := range ctx.Neighbors() {
+		if n == skip {
+			continue
+		}
+		h.lastSent[n] = snapshot
+	}
+}
+
+func (h *wfHost) Receive(ctx *sim.Context, msg sim.Message) {
+	switch m := msg.Payload.(type) {
+	case wfBroadcast:
+		h.onBroadcast(ctx, msg.From, m)
+	case wfConverge:
+		h.onConverge(ctx, msg.From, m.A)
+	}
+}
+
+func (h *wfHost) onBroadcast(ctx *sim.Context, from graph.HostID, m wfBroadcast) {
+	if h.active {
+		// Fig. 3: an active host drops the Broadcast message — but the
+		// piggybacked partial is still convergecast information (§5.1).
+		h.onConverge(ctx, from, m.A)
+		return
+	}
+	// Fig. 3 guard: activate only if t < 2D̂δ.
+	if ctx.Now() >= sim.Time(2*h.w.Query.DHat) {
+		return
+	}
+	h.activate(ctx, m.Hop, m.A)
+	h.lastRecv[from] = m.A
+	// Forward the query with our partial piggybacked (the first
+	// convergecast message rides on the broadcast, footnote 4).
+	ctx.SendAllExcept(from, wfBroadcast{Hop: h.dist + 1, A: h.partial.Clone()})
+	h.noteSentToAll(ctx, from)
+	// If combining changed anything relative to what the sender already
+	// knows, the end-of-tick flush will reply to the sender (Example 5.1:
+	// x sends A_x back to w; y skips because A_y equals what w sent).
+	if !h.partial.Equal(m.A) {
+		h.markDirty(ctx)
+	} else {
+		h.lastSent[from] = h.partial.Clone() // sender already holds this state
+	}
+}
+
+func (h *wfHost) onConverge(ctx *sim.Context, from graph.HostID, a agg.Partial) {
+	if !h.active {
+		return // cannot hold a partial before activation
+	}
+	// Fig. 4 guard: participate only until the (possibly early) deadline.
+	if ctx.Now() > h.limit() {
+		return
+	}
+	h.lastRecv[from] = a
+	changed := h.partial.Combine(a)
+	if h.partial.Equal(a) {
+		// The sender holds exactly our state now; no need to update it.
+		h.lastSent[from] = h.partial.Clone()
+	}
+	if changed {
+		h.markDirty(ctx)
+		return
+	}
+	if !h.partial.Equal(a) {
+		// We learned nothing but the sender lags behind (Fig. 4's
+		// else-branch): schedule the catch-up reply with the same batch.
+		h.markDirty(ctx)
+	}
+}
+
+// markDirty schedules a flush at the end of the current tick; all
+// messages arriving this tick are combined before anything is sent, which
+// realizes the paper's synchronous rounds (Example 5.1).
+func (h *wfHost) markDirty(ctx *sim.Context) {
+	h.dirty = true
+	if !h.flushing {
+		h.flushing = true
+		ctx.SetTimer(ctx.Now(), wfTagFlush)
+	}
+}
+
+func (h *wfHost) Timer(ctx *sim.Context, tag int) {
+	if tag != wfTagFlush {
+		return
+	}
+	h.flushing = false
+	if !h.dirty || !h.active {
+		return
+	}
+	h.dirty = false
+	if ctx.Now() > h.limit() {
+		return
+	}
+	if ctx.Medium() == sim.MediumWireless {
+		// One radio transmission reaches everyone; selective suppression
+		// saves nothing (§5.3).
+		ctx.SendAll(wfConverge{A: h.partial.Clone()})
+		h.noteSentToAll(ctx, graph.None)
+		return
+	}
+	snapshot := h.partial.Clone()
+	for _, n := range ctx.Neighbors() {
+		if prev, ok := h.lastSent[n]; ok && prev.Equal(snapshot) {
+			continue
+		}
+		if known, ok := h.lastRecv[n]; ok && known.Dominates(snapshot) {
+			continue // the neighbor provably holds a superset already
+		}
+		ctx.Send(n, wfConverge{A: snapshot})
+		h.lastSent[n] = snapshot
+	}
+}

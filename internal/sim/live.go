@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"validity/internal/graph"
+)
+
+// LiveNetwork runs the same Handler state machines on real goroutines —
+// one per host — with messages carried over channels and the per-hop delay
+// realized with timers. It exists to demonstrate the protocols on actual
+// concurrent peers (the examples use it); the event-driven Network is what
+// the experiments use, because it is deterministic.
+//
+// The mapping to the paper's model: each peer goroutine is a host, Kill is
+// an end-user switching the application off mid-query (§3.2), and Hop is
+// the universal delay bound δ.
+type LiveNetwork struct {
+	g        *graph.Graph
+	handlers []Handler
+	values   []int64
+	hop      time.Duration
+
+	mu     sync.Mutex
+	alive  []bool
+	inbox  []chan Message
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	sent   atomic.Int64
+	start  time.Time
+	closed bool
+}
+
+// NewLiveNetwork creates a live runner over g where each hop takes hop of
+// wall-clock time. Values may be nil (all zeros).
+func NewLiveNetwork(g *graph.Graph, values []int64, hop time.Duration) *LiveNetwork {
+	n := g.Len()
+	if values == nil {
+		values = make([]int64, n)
+	}
+	ln := &LiveNetwork{
+		g:        g,
+		handlers: make([]Handler, n),
+		values:   values,
+		hop:      hop,
+		alive:    make([]bool, n),
+		inbox:    make([]chan Message, n),
+		quit:     make(chan struct{}),
+	}
+	for i := range ln.alive {
+		ln.alive[i] = true
+		ln.inbox[i] = make(chan Message, 1024)
+	}
+	return ln
+}
+
+// SetHandler installs the protocol state machine for host h.
+func (ln *LiveNetwork) SetHandler(h graph.HostID, hd Handler) { ln.handlers[h] = hd }
+
+// MessagesSent returns the number of messages sent so far.
+func (ln *LiveNetwork) MessagesSent() int64 { return ln.sent.Load() }
+
+// Start launches one goroutine per host and invokes every handler's Start.
+func (ln *LiveNetwork) Start() {
+	ln.start = time.Now()
+	for h := 0; h < ln.g.Len(); h++ {
+		id := graph.HostID(h)
+		ln.wg.Add(1)
+		go ln.hostLoop(id)
+		if hd := ln.handlers[h]; hd != nil {
+			hd.Start(ln.liveCtx(id))
+		}
+	}
+}
+
+func (ln *LiveNetwork) hostLoop(h graph.HostID) {
+	defer ln.wg.Done()
+	for {
+		select {
+		case <-ln.quit:
+			return
+		case msg := <-ln.inbox[h]:
+			ln.mu.Lock()
+			ok := ln.alive[h]
+			ln.mu.Unlock()
+			if !ok {
+				continue // failed host: drop silently
+			}
+			if hd := ln.handlers[h]; hd != nil {
+				hd.Receive(ln.liveCtx(h), msg)
+			}
+		}
+	}
+}
+
+// Kill marks host h failed; it stops processing messages immediately.
+func (ln *LiveNetwork) Kill(h graph.HostID) {
+	ln.mu.Lock()
+	ln.alive[h] = false
+	ln.mu.Unlock()
+}
+
+// Stop terminates all host goroutines and waits for them to exit.
+func (ln *LiveNetwork) Stop() {
+	ln.mu.Lock()
+	if !ln.closed {
+		ln.closed = true
+		close(ln.quit)
+	}
+	ln.mu.Unlock()
+	ln.wg.Wait()
+}
+
+// now returns elapsed wall time in hop units, mirroring virtual ticks.
+func (ln *LiveNetwork) now() Time {
+	if ln.hop <= 0 {
+		return 0
+	}
+	return Time(time.Since(ln.start) / ln.hop)
+}
+
+func (ln *LiveNetwork) deliverAfter(msg Message) {
+	ln.sent.Add(1)
+	go func() {
+		if ln.hop > 0 {
+			timer := time.NewTimer(ln.hop)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ln.quit:
+				return
+			}
+		}
+		select {
+		case ln.inbox[msg.To] <- msg:
+		case <-ln.quit:
+		}
+	}()
+}
+
+// liveCtx adapts the live runner to the same Context type by building a
+// Network-free context; live contexts support the subset of operations the
+// protocols use (Send, SendAll, SendAllExcept, SetTimer, Value, Neighbors).
+func (ln *LiveNetwork) liveCtx(h graph.HostID) *Context {
+	return &Context{live: ln, host: h}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"validity/internal/graph"
+)
+
+// liveEcho is a concurrency-safe variant of echoHandler for the goroutine
+// backend.
+type liveEcho struct {
+	mu       sync.Mutex
+	initiate bool
+	seen     bool
+}
+
+func (e *liveEcho) Start(ctx *Context) {
+	if e.initiate {
+		e.mu.Lock()
+		e.seen = true
+		e.mu.Unlock()
+		ctx.SendAll("token")
+	}
+}
+
+func (e *liveEcho) Receive(ctx *Context, msg Message) {
+	e.mu.Lock()
+	if e.seen {
+		e.mu.Unlock()
+		return
+	}
+	e.seen = true
+	e.mu.Unlock()
+	ctx.SendAllExcept(msg.From, "token")
+}
+
+func (e *liveEcho) Timer(ctx *Context, tag int) {}
+
+func (e *liveEcho) sawToken() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seen
+}
+
+func TestLiveNetworkFloodReachesAll(t *testing.T) {
+	g := line(8)
+	ln := NewLiveNetwork(g, nil, time.Millisecond)
+	hs := make([]*liveEcho, g.Len())
+	for i := range hs {
+		hs[i] = &liveEcho{initiate: i == 0}
+		ln.SetHandler(graph.HostID(i), hs[i])
+	}
+	ln.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		all := true
+		for _, h := range hs {
+			if !h.sawToken() {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			ln.Stop()
+			t.Fatal("live flood did not reach all hosts in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ln.Stop()
+	if ln.MessagesSent() == 0 {
+		t.Fatal("no messages recorded")
+	}
+}
+
+func TestLiveNetworkKillBlocksPropagation(t *testing.T) {
+	g := line(4)
+	ln := NewLiveNetwork(g, nil, 2*time.Millisecond)
+	hs := make([]*liveEcho, g.Len())
+	for i := range hs {
+		hs[i] = &liveEcho{initiate: i == 0}
+		ln.SetHandler(graph.HostID(i), hs[i])
+	}
+	ln.Kill(1) // dead before start: token can never pass host 1
+	ln.Start()
+	time.Sleep(100 * time.Millisecond)
+	ln.Stop()
+	if hs[2].sawToken() || hs[3].sawToken() {
+		t.Fatal("token crossed a killed host")
+	}
+}
+
+func TestLiveNetworkStopIdempotent(t *testing.T) {
+	g := line(2)
+	ln := NewLiveNetwork(g, nil, time.Millisecond)
+	ln.Start()
+	ln.Stop()
+	ln.Stop() // must not panic or deadlock
+}
+
+func TestLiveNetworkTimer(t *testing.T) {
+	g := line(2)
+	ln := NewLiveNetwork(g, nil, time.Millisecond)
+	done := make(chan int, 1)
+	ln.SetHandler(0, &timerHandler{
+		onStart: func(ctx *Context) { ctx.SetTimer(ctx.Now()+5, 7) },
+		onTimer: func(tag int) {
+			select {
+			case done <- tag:
+			default:
+			}
+		},
+	})
+	ln.Start()
+	select {
+	case tag := <-done:
+		if tag != 7 {
+			t.Fatalf("timer tag = %d, want 7", tag)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("live timer never fired")
+	}
+	ln.Stop()
+}

@@ -1,0 +1,518 @@
+// Package sim implements the discrete-event simulator of a dynamic network
+// that every protocol in this repository runs on. It models the paper's
+// "relaxed asynchronous" system (§3.1): hosts connected by symmetric edges,
+// a known per-hop delay bound δ (one virtual tick), reliable in-order
+// delivery to alive neighbors, and hosts that fail (leave) at scheduled
+// times (§3.2). It also models the wireless broadcast medium of sensor
+// networks, under which one transmission reaches every alive neighbor at
+// the cost of a single message (§5.3).
+//
+// The simulator is deterministic: all randomness comes from the caller's
+// seeded rand.Rand, and events at equal times are processed in a fixed
+// order (by sequence number). Determinism is what makes the paper's figures
+// reproducible byte for byte; a goroutine-per-peer live runner for the
+// examples is provided separately in live.go.
+//
+// Cost accounting follows §6.3 exactly:
+//
+//   - Communication cost: number of messages sent between host pairs
+//     (under the wireless medium, one local broadcast counts as one).
+//   - Computation cost: messages processed per host; the protocol's cost is
+//     the maximum over hosts.
+//   - Time cost: the length of the longest causal chain of messages,
+//     tracked by carrying a chain depth in every message.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"validity/internal/graph"
+)
+
+// Time is virtual time measured in ticks. One tick is the universal
+// per-hop delay bound δ of the paper's model.
+type Time int64
+
+// Medium selects how a send-to-all-neighbors is accounted.
+type Medium int
+
+const (
+	// MediumPointToPoint charges one message per (sender, receiver) pair,
+	// as on a wired P2P overlay.
+	MediumPointToPoint Medium = iota
+	// MediumWireless charges one message per local broadcast regardless of
+	// the number of neighbors, as on a sensor radio.
+	MediumWireless
+)
+
+func (m Medium) String() string {
+	switch m {
+	case MediumPointToPoint:
+		return "point-to-point"
+	case MediumWireless:
+		return "wireless"
+	default:
+		return fmt.Sprintf("Medium(%d)", int(m))
+	}
+}
+
+// Message is a payload in flight between two hosts. Payload semantics are
+// protocol-defined.
+type Message struct {
+	From    graph.HostID
+	To      graph.HostID
+	Payload any
+	// chain is the causal depth of this message: 1 + the depth of the
+	// message whose processing triggered the send (0 for spontaneous
+	// sends). The maximum over all delivered messages is the time cost.
+	chain int
+}
+
+// Chain returns the causal depth of the message (see Stats.TimeCost).
+func (m *Message) Chain() int { return m.chain }
+
+// Handler is the per-host protocol logic. Implementations must be pure
+// state machines: all communication goes through the Context.
+type Handler interface {
+	// Start is invoked once per host when the host becomes part of the
+	// simulation (at time 0 for initial hosts, at join time for joiners).
+	Start(ctx *Context)
+	// Receive is invoked when a message is delivered to this host.
+	Receive(ctx *Context, msg Message)
+	// Timer is invoked when a timer set via Context.SetTimer fires.
+	Timer(ctx *Context, tag int)
+}
+
+// event kinds, ordered for determinism at equal timestamps.
+const (
+	evFail = iota
+	evJoin
+	evDeliver
+	evTimer
+)
+
+type event struct {
+	t     Time
+	kind  int
+	seq   uint64 // FIFO tiebreak
+	host  graph.HostID
+	msg   Message
+	tag   int
+	chain int // causal depth carried into timer callbacks
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) Peek() *event  { return q[0] }
+
+// Stats aggregates the §6.3 cost measures for one run.
+type Stats struct {
+	// MessagesSent is the total communication cost.
+	MessagesSent int64
+	// MessagesDelivered counts deliveries that reached an alive host.
+	MessagesDelivered int64
+	// MessagesDropped counts messages whose destination failed in flight.
+	MessagesDropped int64
+	// PerHostProcessed[h] is the computation cost of host h.
+	PerHostProcessed []int64
+	// PerTickSent[t] is the number of messages sent at tick t (Fig. 13b).
+	PerTickSent []int64
+	// TimeCost is the longest causal chain of messages (§6.3).
+	TimeCost int
+	// FinishTime is the virtual time at which the run stopped.
+	FinishTime Time
+}
+
+// MaxComputation returns the maximum per-host computation cost.
+func (s *Stats) MaxComputation() int64 {
+	var max int64
+	for _, c := range s.PerHostProcessed {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ComputationHistogram returns, for each observed per-host message count,
+// the number of hosts that processed exactly that many messages (Fig. 12).
+// Hosts that processed zero messages are included.
+func (s *Stats) ComputationHistogram() map[int64]int {
+	h := make(map[int64]int)
+	for _, c := range s.PerHostProcessed {
+		h[c]++
+	}
+	return h
+}
+
+// Network is one simulation instance: a topology, per-host handler state,
+// scheduled churn, and the event loop.
+type Network struct {
+	g        *graph.Graph
+	medium   Medium
+	rng      *rand.Rand
+	handlers []Handler
+	alive    []bool
+	joined   []bool // false until join time (joiners); initial hosts true
+	queue    eventQueue
+	seq      uint64
+	now      Time
+	stats    Stats
+	values   []int64 // attribute values (query-dependent, §3.1)
+	// OnDeliver, if set, observes every delivered message (for tracing).
+	OnDeliver func(t Time, msg Message)
+}
+
+// Config configures a Network.
+type Config struct {
+	Graph  *graph.Graph
+	Medium Medium
+	// Seed seeds the simulation's private RNG (used by handlers through
+	// Context.Rand). Handlers needing independent streams can derive them.
+	Seed int64
+	// Values are per-host attribute values; len must equal Graph.Len().
+	// If nil, all values are zero.
+	Values []int64
+}
+
+// NewNetwork builds a simulation over cfg.Graph with every host alive.
+func NewNetwork(cfg Config) *Network {
+	n := cfg.Graph.Len()
+	values := cfg.Values
+	if values == nil {
+		values = make([]int64, n)
+	}
+	if len(values) != n {
+		panic(fmt.Sprintf("sim: %d values for %d hosts", len(values), n))
+	}
+	nw := &Network{
+		g:        cfg.Graph,
+		medium:   cfg.Medium,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: make([]Handler, n),
+		alive:    make([]bool, n),
+		joined:   make([]bool, n),
+		values:   values,
+	}
+	for i := range nw.alive {
+		nw.alive[i] = true
+		nw.joined[i] = true
+	}
+	nw.stats.PerHostProcessed = make([]int64, n)
+	return nw
+}
+
+// Graph returns the underlying topology.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Now returns the current virtual time.
+func (nw *Network) Now() Time { return nw.now }
+
+// Stats returns the accumulated cost statistics.
+func (nw *Network) Stats() *Stats { return &nw.stats }
+
+// Alive reports whether host h is currently alive.
+func (nw *Network) Alive(h graph.HostID) bool { return nw.alive[h] }
+
+// AlivePredicate returns a graph.Alive view of current liveness.
+func (nw *Network) AlivePredicate() graph.Alive {
+	return func(h graph.HostID) bool { return nw.alive[h] }
+}
+
+// Value returns the attribute value of host h.
+func (nw *Network) Value(h graph.HostID) int64 { return nw.values[h] }
+
+// SetHandler installs the protocol state machine for host h. All handlers
+// must be installed before Run.
+func (nw *Network) SetHandler(h graph.HostID, hd Handler) { nw.handlers[h] = hd }
+
+// Handler returns the handler installed at h (for post-run inspection).
+func (nw *Network) Handler(h graph.HostID) Handler { return nw.handlers[h] }
+
+// FailAt schedules host h to leave the network at time t. A failed host
+// stops participating: in-flight messages to it are dropped at delivery
+// time, and its timers never fire (§3.2).
+func (nw *Network) FailAt(h graph.HostID, t Time) {
+	nw.push(&event{t: t, kind: evFail, host: h})
+}
+
+// JoinAt schedules host h (which must have been constructed dead via
+// SetInitiallyDead) to join the network at time t; its Start runs then.
+func (nw *Network) JoinAt(h graph.HostID, t Time) {
+	nw.push(&event{t: t, kind: evJoin, host: h})
+}
+
+// SetInitiallyDead marks h as not present at time 0 (to be joined later).
+func (nw *Network) SetInitiallyDead(h graph.HostID) {
+	nw.alive[h] = false
+	nw.joined[h] = false
+}
+
+func (nw *Network) push(e *event) {
+	e.seq = nw.seq
+	nw.seq++
+	heap.Push(&nw.queue, e)
+}
+
+// Run executes the event loop until the queue drains or `until` is
+// reached, whichever comes first, and returns the final statistics. Start
+// is invoked on every initially-alive host at time 0 before any event.
+func (nw *Network) Run(until Time) *Stats {
+	for h := 0; h < nw.g.Len(); h++ {
+		if nw.alive[h] && nw.handlers[h] != nil {
+			ctx := nw.ctx(graph.HostID(h), 0)
+			nw.handlers[h].Start(ctx)
+		}
+	}
+	for nw.queue.Len() > 0 {
+		e := nw.queue.Peek()
+		if e.t > until {
+			break
+		}
+		heap.Pop(&nw.queue)
+		nw.now = e.t
+		nw.dispatch(e)
+	}
+	if nw.now < until {
+		nw.now = until
+	}
+	nw.stats.FinishTime = nw.now
+	return &nw.stats
+}
+
+func (nw *Network) dispatch(e *event) {
+	switch e.kind {
+	case evFail:
+		nw.alive[e.host] = false
+	case evJoin:
+		if !nw.joined[e.host] {
+			nw.alive[e.host] = true
+			nw.joined[e.host] = true
+			if hd := nw.handlers[e.host]; hd != nil {
+				hd.Start(nw.ctx(e.host, 0))
+			}
+		}
+	case evDeliver:
+		if !nw.alive[e.msg.To] {
+			nw.stats.MessagesDropped++
+			return
+		}
+		nw.stats.MessagesDelivered++
+		nw.stats.PerHostProcessed[e.msg.To]++
+		if e.msg.chain > nw.stats.TimeCost {
+			nw.stats.TimeCost = e.msg.chain
+		}
+		if nw.OnDeliver != nil {
+			nw.OnDeliver(nw.now, e.msg)
+		}
+		if hd := nw.handlers[e.msg.To]; hd != nil {
+			hd.Receive(nw.ctx(e.msg.To, e.msg.chain), e.msg)
+		}
+	case evTimer:
+		if !nw.alive[e.host] {
+			return
+		}
+		if hd := nw.handlers[e.host]; hd != nil {
+			hd.Timer(nw.ctx(e.host, e.chain), e.tag)
+		}
+	}
+}
+
+func (nw *Network) ctx(h graph.HostID, chain int) *Context {
+	return &Context{nw: nw, host: h, chain: chain}
+}
+
+// recordSend updates the per-tick trace for a message sent now.
+func (nw *Network) recordSent(count int64) {
+	nw.stats.MessagesSent += count
+	t := int(nw.now)
+	for len(nw.stats.PerTickSent) <= t {
+		nw.stats.PerTickSent = append(nw.stats.PerTickSent, 0)
+	}
+	nw.stats.PerTickSent[t] += count
+}
+
+// Context is the capability a handler uses to act on the network. It is
+// valid only for the duration of the callback it was passed to. Exactly
+// one of nw (event-driven backend) or live (goroutine backend) is set.
+type Context struct {
+	nw    *Network
+	live  *LiveNetwork
+	host  graph.HostID
+	chain int
+	rng   *rand.Rand // optional override, see WithRand
+}
+
+// WithRand returns a copy of the context whose Rand() yields r. The live
+// backend has no shared deterministic RNG, so callers running handlers on
+// LiveNetwork wrap contexts with per-host sources.
+func (c *Context) WithRand(r *rand.Rand) *Context {
+	cp := *c
+	cp.rng = r
+	return &cp
+}
+
+// Self returns the host this context belongs to.
+func (c *Context) Self() graph.HostID { return c.host }
+
+// Now returns the current virtual time (elapsed hop units on the live
+// backend).
+func (c *Context) Now() Time {
+	if c.live != nil {
+		return c.live.now()
+	}
+	return c.nw.now
+}
+
+// Value returns this host's attribute value, generated on receipt of the
+// query in the ad-hoc model (§3.1); here it is preassigned per run.
+func (c *Context) Value() int64 {
+	if c.live != nil {
+		return c.live.values[c.host]
+	}
+	return c.nw.values[c.host]
+}
+
+// Neighbors returns this host's neighbor list (alive or not: a host cannot
+// instantly observe neighbor failures, it only learns via heartbeats).
+func (c *Context) Neighbors() []graph.HostID { return c.graph().Neighbors(c.host) }
+
+// Degree returns the number of neighbors.
+func (c *Context) Degree() int { return c.graph().Degree(c.host) }
+
+func (c *Context) graph() *graph.Graph {
+	if c.live != nil {
+		return c.live.g
+	}
+	return c.nw.g
+}
+
+// Rand returns the simulation RNG (deterministic per seed), or the
+// WithRand override if set. The live backend has no shared RNG; handlers
+// running there must be given one via WithRand, otherwise Rand returns
+// nil.
+func (c *Context) Rand() *rand.Rand {
+	if c.rng != nil {
+		return c.rng
+	}
+	if c.live != nil {
+		return nil
+	}
+	return c.nw.rng
+}
+
+// Send transmits payload to a single neighbor; it arrives after δ = 1 tick
+// if the destination is then alive. Sending to a non-neighbor panics:
+// messages can only travel along edges of G (§3.1).
+func (c *Context) Send(to graph.HostID, payload any) {
+	if !c.graph().HasEdge(c.host, to) {
+		panic(fmt.Sprintf("sim: host %d sending to non-neighbor %d", c.host, to))
+	}
+	msg := Message{From: c.host, To: to, Payload: payload, chain: c.chain + 1}
+	if c.live != nil {
+		c.live.deliverAfter(msg)
+		return
+	}
+	c.nw.recordSent(1)
+	c.nw.push(&event{t: c.nw.now + 1, kind: evDeliver, msg: msg})
+}
+
+// SendAll transmits payload to every neighbor. Under MediumPointToPoint it
+// costs one message per neighbor; under MediumWireless it costs one
+// message total (§5.3). Delivery per neighbor still depends on that
+// neighbor being alive at arrival time.
+func (c *Context) SendAll(payload any) {
+	c.sendMany(graph.None, payload)
+}
+
+// SendAllExcept is SendAll skipping one neighbor (e.g. the host the
+// triggering message came from). Under the wireless medium it still costs
+// one message.
+func (c *Context) SendAllExcept(skip graph.HostID, payload any) {
+	c.sendMany(skip, payload)
+}
+
+func (c *Context) sendMany(skip graph.HostID, payload any) {
+	ns := c.graph().Neighbors(c.host)
+	count := 0
+	for _, to := range ns {
+		if to == skip {
+			continue
+		}
+		count++
+		msg := Message{From: c.host, To: to, Payload: payload, chain: c.chain + 1}
+		if c.live != nil {
+			c.live.deliverAfter(msg)
+			continue
+		}
+		c.nw.push(&event{t: c.nw.now + 1, kind: evDeliver, msg: msg})
+	}
+	if count == 0 || c.live != nil {
+		return
+	}
+	if c.nw.medium == MediumWireless {
+		c.nw.recordSent(1)
+	} else {
+		c.nw.recordSent(int64(count))
+	}
+}
+
+// SetTimer schedules Timer(tag) on this host at absolute time t. Timers on
+// failed hosts never fire. On the live backend the timer is realized with
+// a wall-clock timer of (t − now) hop units.
+func (c *Context) SetTimer(t Time, tag int) {
+	if c.live != nil {
+		ln, h := c.live, c.host
+		delay := time.Duration(t-ln.now()) * ln.hop
+		if delay < 0 {
+			delay = 0
+		}
+		go func() {
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ln.quit:
+				return
+			}
+			ln.mu.Lock()
+			ok := ln.alive[h]
+			ln.mu.Unlock()
+			if ok {
+				if hd := ln.handlers[h]; hd != nil {
+					hd.Timer(ln.liveCtx(h), tag)
+				}
+			}
+		}()
+		return
+	}
+	// A timer set while processing a message continues that message's
+	// causal chain, so batched sends triggered by timers keep honest
+	// time-cost accounting.
+	c.nw.push(&event{t: t, kind: evTimer, host: c.host, tag: tag, chain: c.chain})
+}
+
+// Medium reports the configured transmission medium (always point-to-point
+// on the live backend).
+func (c *Context) Medium() Medium {
+	if c.live != nil {
+		return MediumPointToPoint
+	}
+	return c.nw.medium
+}

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"validity/internal/graph"
+)
+
+// LoadEdgeList reads a whitespace-separated edge list ("a b" per line,
+// '#'-comments and blank lines ignored) and returns the graph. Host IDs
+// must be non-negative; the graph is sized by the largest ID seen.
+// Duplicate edges and self-loops are dropped, matching the generators'
+// semantics.
+//
+// This is the escape hatch for DESIGN.md substitution G1: if the real
+// 2001 Gnutella crawl (or any measured topology) becomes available as an
+// edge list, it can be loaded here and driven through every experiment
+// unchanged (cmd/netsim -topology-file).
+func LoadEdgeList(r io.Reader) (*graph.Graph, error) {
+	type edge struct{ a, b int }
+	var edges []edge
+	maxID := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var a, b int
+		if _, err := fmt.Sscanf(line, "%d %d", &a, &b); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %q: %w", lineNo, line, err)
+		}
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("topology: line %d: negative host ID", lineNo)
+		}
+		if a > maxID {
+			maxID = a
+		}
+		if b > maxID {
+			maxID = b
+		}
+		edges = append(edges, edge{a, b})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading edge list: %w", err)
+	}
+	g := graph.New(maxID + 1)
+	for _, e := range edges {
+		g.AddEdge(graph.HostID(e.a), graph.HostID(e.b))
+	}
+	g.SortAdjacency()
+	return g, nil
+}
+
+// WriteEdgeList writes g as "a b" lines with a < b, the format
+// LoadEdgeList reads.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	var writeErr error
+	g.Edges(func(a, b graph.HostID) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", a, b); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"validity/internal/graph"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := NewGnutella(500, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d hosts, %d/%d edges",
+			g2.Len(), g.Len(), g2.NumEdges(), g.NumEdges())
+	}
+	same := true
+	g.Edges(func(a, b graph.HostID) bool {
+		if !g2.HasEdge(a, b) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if !same {
+		t.Fatal("edge sets differ after round trip")
+	}
+}
+
+func TestLoadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n0 1\n  1 2  \n# trailing\n"
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("hosts=%d edges=%d", g.Len(), g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListDuplicatesAndLoops(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n1 0\n0 0\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1 (dups and loops dropped)", g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	if _, err := LoadEdgeList(strings.NewReader("0 x\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadEdgeList(strings.NewReader("-1 2\n")); err == nil {
+		t.Fatal("negative ID accepted")
+	}
+	g, err := LoadEdgeList(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("empty input: %d hosts", g.Len())
+	}
+}

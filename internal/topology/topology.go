@@ -1,0 +1,236 @@
+// Package topology generates the four network topologies of the paper's
+// evaluation (§6.1):
+//
+//   - Random: |H| hosts with uniformly random edges tuned to average
+//     degree 5.
+//   - PowerLaw: a power-law degree distribution (γ ≈ 2.9) built by
+//     preferential attachment.
+//   - Grid: a sensor field of hosts on a 100×100 grid where each host's
+//     neighbors are the hosts in the enclosing 2-unit square (the 8
+//     surrounding cells).
+//   - Gnutella: the paper uses a 2001 crawl with |H| = 39,046 which is not
+//     available; Gnutella here is a synthetic stand-in reproducing the
+//     published structural properties of that snapshot (skewed degrees,
+//     small diameter, one giant component) — see DESIGN.md substitution G1.
+//
+// All generators are deterministic for a given seed, always return a
+// connected graph (they add a uniform random spanning backbone first where
+// needed), and sort adjacency lists so simulations are reproducible.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"validity/internal/graph"
+)
+
+// Kind names a generator.
+type Kind int
+
+const (
+	Random Kind = iota
+	PowerLaw
+	Grid
+	Gnutella
+)
+
+var kindNames = map[Kind]string{
+	Random:   "random",
+	PowerLaw: "power-law",
+	Grid:     "grid",
+	Gnutella: "gnutella",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a name ("random", "power-law", "powerlaw", "grid",
+// "gnutella") to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "random":
+		return Random, nil
+	case "power-law", "powerlaw":
+		return PowerLaw, nil
+	case "grid":
+		return Grid, nil
+	case "gnutella":
+		return Gnutella, nil
+	}
+	return 0, fmt.Errorf("topology: unknown kind %q", s)
+}
+
+// Generate builds a topology of the given kind with n hosts. For Grid, n
+// is rounded down to a perfect square (the paper uses 100×100 = 10K).
+func Generate(k Kind, n int, seed int64) *graph.Graph {
+	switch k {
+	case Random:
+		return NewRandom(n, 5.0, seed)
+	case PowerLaw:
+		return NewPowerLaw(n, seed)
+	case Grid:
+		side := isqrt(n)
+		return NewGrid(side, side)
+	case Gnutella:
+		return NewGnutella(n, seed)
+	default:
+		panic(fmt.Sprintf("topology: unknown kind %d", int(k)))
+	}
+}
+
+func isqrt(n int) int {
+	s := 0
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// spanningBackbone wires host i (i ≥ 1) to a uniformly random earlier host,
+// guaranteeing connectivity with exactly n−1 edges.
+func spanningBackbone(g *graph.Graph, rng *rand.Rand) {
+	for i := 1; i < g.Len(); i++ {
+		g.AddEdge(graph.HostID(i), graph.HostID(rng.Intn(i)))
+	}
+}
+
+// NewRandom builds a connected uniform random graph with the requested
+// average degree (§6.1 uses 5). It lays a random spanning backbone and then
+// adds uniform random edges until 2|E|/|H| reaches avgDegree.
+func NewRandom(n int, avgDegree float64, seed int64) *graph.Graph {
+	if n < 2 {
+		return graph.New(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	spanningBackbone(g, rng)
+	target := int(avgDegree * float64(n) / 2)
+	// A complete graph bounds what any target can reach; without this cap
+	// small n would loop forever chasing an impossible edge count.
+	if max := n * (n - 1) / 2; target > max {
+		target = max
+	}
+	for g.NumEdges() < target {
+		a := graph.HostID(rng.Intn(n))
+		b := graph.HostID(rng.Intn(n))
+		g.AddEdge(a, b)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// NewPowerLaw builds a connected graph whose degree distribution has a
+// power-law tail, via preferential attachment: each new host attaches m=2
+// edges to existing hosts chosen proportionally to their current degree.
+// Barabási–Albert graphs have exponent ≈ 3, matching the paper's γ = 2.9
+// synthetic topology.
+func NewPowerLaw(n int, seed int64) *graph.Graph {
+	const m = 2 // edges per new host; avg degree ≈ 2m = 4
+	if n < 2 {
+		return graph.New(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	// Repeated-endpoints list: choosing uniformly from it is degree-
+	// proportional choice.
+	targets := make([]graph.HostID, 0, 2*m*n)
+	g.AddEdge(0, 1)
+	targets = append(targets, 0, 1)
+	for v := 2; v < n; v++ {
+		added := 0
+		for attempts := 0; added < m && attempts < 10*m; attempts++ {
+			u := targets[rng.Intn(len(targets))]
+			if g.AddEdge(graph.HostID(v), u) {
+				targets = append(targets, graph.HostID(v), u)
+				added++
+			}
+		}
+		if added == 0 {
+			// Degenerate fallback keeps the graph connected.
+			u := graph.HostID(rng.Intn(v))
+			g.AddEdge(graph.HostID(v), u)
+			targets = append(targets, graph.HostID(v), u)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// NewGrid builds a rows×cols sensor grid. A host's neighbors are all hosts
+// in the enclosing 2-unit square: the 8 surrounding grid cells (§6.1).
+func NewGrid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) graph.HostID { return graph.HostID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					nr, nc := r+dr, c+dc
+					if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+						continue
+					}
+					g.AddEdge(id(r, c), id(nr, nc))
+				}
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// GnutellaSize is the size of the paper's Gnutella crawl (§6.1).
+const GnutellaSize = 39046
+
+// NewGnutella builds a synthetic Gnutella-like overlay (substitution G1 in
+// DESIGN.md): preferential attachment with a minimum-degree floor of 3
+// (Gnutella clients kept several open connections), plus a sprinkling of
+// uniform random "long link" edges reproducing the measured mixing of the
+// 2001 snapshots. The result has a skewed degree tail, a single giant
+// component, and a small diameter comparable to the measured D = 12.
+func NewGnutella(n int, seed int64) *graph.Graph {
+	if n < 4 {
+		return NewRandom(n, 3, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	targets := make([]graph.HostID, 0, 8*n)
+	// Seed clique of 4 ultrapeer-like hosts.
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.AddEdge(graph.HostID(a), graph.HostID(b))
+			targets = append(targets, graph.HostID(a), graph.HostID(b))
+		}
+	}
+	for v := 4; v < n; v++ {
+		// Degree floor of 3 preferential links.
+		added := 0
+		for attempts := 0; added < 3 && attempts < 30; attempts++ {
+			u := targets[rng.Intn(len(targets))]
+			if g.AddEdge(graph.HostID(v), u) {
+				targets = append(targets, graph.HostID(v), u)
+				added++
+			}
+		}
+		if added == 0 {
+			u := graph.HostID(rng.Intn(v))
+			g.AddEdge(graph.HostID(v), u)
+			targets = append(targets, graph.HostID(v), u)
+		}
+	}
+	// ~5% extra uniform random edges: measured Gnutella graphs mix faster
+	// than pure preferential attachment.
+	extra := n / 20
+	for e := 0; e < extra; e++ {
+		g.AddEdge(graph.HostID(rng.Intn(n)), graph.HostID(rng.Intn(n)))
+	}
+	g.SortAdjacency()
+	return g
+}

@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"validity/internal/graph"
+)
+
+func TestRandomConnectedAndDegree(t *testing.T) {
+	g := NewRandom(2000, 5.0, 1)
+	if !g.IsConnected(nil) {
+		t.Fatal("random graph disconnected")
+	}
+	if d := g.AvgDegree(); math.Abs(d-5.0) > 0.3 {
+		t.Fatalf("avg degree = %.2f, want ≈ 5", d)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := NewRandom(500, 5, 42)
+	b := NewRandom(500, 5, 42)
+	c := NewRandom(500, 5, 43)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	same := true
+	a.Edges(func(x, y graph.HostID) bool {
+		if !b.HasEdge(x, y) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if !same {
+		t.Fatal("same seed produced different edge sets")
+	}
+	diff := false
+	a.Edges(func(x, y graph.HostID) bool {
+		if !c.HasEdge(x, y) {
+			diff = true
+			return false
+		}
+		return true
+	})
+	if !diff {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestRandomTinyGraphs(t *testing.T) {
+	for n := 0; n < 4; n++ {
+		g := NewRandom(n, 5, 1)
+		if g.Len() != n {
+			t.Fatalf("n=%d: got %d hosts", n, g.Len())
+		}
+	}
+}
+
+// Regression: an average-degree target above the complete graph must
+// terminate (it used to spin forever retrying duplicate edges) and yield
+// the complete graph.
+func TestRandomDenseTargetCapped(t *testing.T) {
+	g := NewRandom(4, 100, 1)
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want complete graph's 6", g.NumEdges())
+	}
+	g2 := NewRandom(2, 5, 1)
+	if g2.NumEdges() != 1 {
+		t.Fatalf("2-host graph edges = %d, want 1", g2.NumEdges())
+	}
+}
+
+func TestPowerLawConnectedAndSkewed(t *testing.T) {
+	g := NewPowerLaw(5000, 7)
+	if !g.IsConnected(nil) {
+		t.Fatal("power-law graph disconnected")
+	}
+	// Heavy tail: the max degree should dwarf the average.
+	if g.MaxDegree() < 5*int(g.AvgDegree()) {
+		t.Fatalf("max degree %d not heavy-tailed vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	// Most hosts should sit at the attachment minimum (degree 2 or 3).
+	hist := g.DegreeHistogram()
+	low := hist[2] + hist[3]
+	if low < g.Len()/2 {
+		t.Fatalf("only %d/%d hosts at low degree; distribution not skewed", low, g.Len())
+	}
+}
+
+func TestPowerLawTailDecay(t *testing.T) {
+	// A power-law with gamma ~ 3 must have ccdf(2d) substantially below
+	// ccdf(d). Check a crude decade decay rather than fitting gamma.
+	g := NewPowerLaw(20000, 3)
+	hist := g.DegreeHistogram()
+	ccdf := func(d int) float64 {
+		n := 0
+		for deg, cnt := range hist {
+			if deg >= d {
+				n += cnt
+			}
+		}
+		return float64(n) / float64(g.Len())
+	}
+	if ccdf(8) <= ccdf(32) {
+		t.Fatalf("degree tail not decaying: ccdf(8)=%.4f ccdf(32)=%.4f", ccdf(8), ccdf(32))
+	}
+	if ccdf(32) == 0 {
+		t.Fatal("no high-degree hubs at all; not a power law")
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := NewGrid(10, 10)
+	if g.Len() != 100 {
+		t.Fatalf("grid size = %d, want 100", g.Len())
+	}
+	if !g.IsConnected(nil) {
+		t.Fatal("grid disconnected")
+	}
+	// Interior host: 8 neighbors; corner: 3; edge: 5.
+	corner := graph.HostID(0)
+	if g.Degree(corner) != 3 {
+		t.Fatalf("corner degree = %d, want 3", g.Degree(corner))
+	}
+	edge := graph.HostID(5) // row 0, col 5
+	if g.Degree(edge) != 5 {
+		t.Fatalf("edge degree = %d, want 5", g.Degree(edge))
+	}
+	interior := graph.HostID(5*10 + 5)
+	if g.Degree(interior) != 8 {
+		t.Fatalf("interior degree = %d, want 8", g.Degree(interior))
+	}
+	// Diameter of an n×n 8-neighborhood grid is n-1 (diagonal moves).
+	if d := g.Diameter(nil); d != 9 {
+		t.Fatalf("grid diameter = %d, want 9", d)
+	}
+}
+
+func TestGnutellaProperties(t *testing.T) {
+	g := NewGnutella(10000, 5)
+	if !g.IsConnected(nil) {
+		t.Fatal("gnutella-like graph disconnected")
+	}
+	// Small world: diameter around the measured 12 for 10K hosts (the
+	// measured value is for 39K; allow a generous band).
+	d := g.DiameterSampled(3, nil)
+	if d < 4 || d > 16 {
+		t.Fatalf("gnutella diameter = %d, want small-world (4..16)", d)
+	}
+	// Skewed degrees with a floor around 3.
+	if g.MaxDegree() < 30 {
+		t.Fatalf("max degree = %d; expected hubs", g.MaxDegree())
+	}
+	hist := g.DegreeHistogram()
+	if hist[0] != 0 {
+		t.Fatal("isolated hosts present")
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, k := range []Kind{Random, PowerLaw, Grid, Gnutella} {
+		g := Generate(k, 400, 1)
+		if g.Len() == 0 {
+			t.Fatalf("%v: empty graph", k)
+		}
+		if !g.IsConnected(nil) {
+			t.Fatalf("%v: disconnected", k)
+		}
+	}
+	// Grid rounds down to a perfect square.
+	g := Generate(Grid, 10000, 1)
+	if g.Len() != 10000 {
+		t.Fatalf("grid 10000 -> %d hosts", g.Len())
+	}
+	g = Generate(Grid, 10050, 1)
+	if g.Len() != 10000 {
+		t.Fatalf("grid 10050 -> %d hosts, want 10000", g.Len())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"random": Random, "power-law": PowerLaw, "powerlaw": PowerLaw,
+		"grid": Grid, "gnutella": Gnutella,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("mesh"); err == nil {
+		t.Fatal("ParseKind should reject unknown names")
+	}
+	if Random.String() != "random" || Kind(99).String() == "" {
+		t.Fatal("Kind.String misbehaves")
+	}
+}
+
+func TestKindStringAll(t *testing.T) {
+	for _, k := range []Kind{Random, PowerLaw, Grid, Gnutella} {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", int(k))
+		}
+		back, err := ParseKind(k.String())
+		if err != nil || back != k {
+			t.Fatalf("round-trip failed for %v", k)
+		}
+	}
+}

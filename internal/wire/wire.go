@@ -1,0 +1,255 @@
+// Package wire defines a compact binary encoding for everything the
+// protocols put on the network: partial aggregates (scalars and FM
+// sketches) and the protocol message envelopes. The simulator passes Go
+// values directly, but a real deployment of WILDFIRE ships bytes; this
+// package is the boundary where the paper's "small fixed-size messages"
+// claim (§4.4, §6.3) becomes checkable — Size reports the exact on-wire
+// cost of every message, and the encoding round-trips through
+// encoding/binary with no reflection.
+//
+// Layout (all integers little-endian):
+//
+//	envelope: magic u16 | version u8 | kind u8 | body...
+//	scalar partial:  aggKind u8 | value i64
+//	sketch partial:  aggKind u8 | vectors u8 | bits u8 | vectors × u64
+//	avg partial:     aggKind u8 | vectors u8 | bits u8 | 2 × vectors × u64
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"validity/internal/agg"
+	"validity/internal/fm"
+)
+
+// Magic identifies a validity-protocol frame.
+const Magic uint16 = 0xDA7A
+
+// Version is the current wire version.
+const Version uint8 = 1
+
+// MsgKind tags the envelope body.
+type MsgKind uint8
+
+// Message kinds carried on the wire.
+const (
+	MsgBroadcast MsgKind = iota + 1
+	MsgConverge
+	MsgReport
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgBroadcast:
+		return "broadcast"
+	case MsgConverge:
+		return "converge"
+	case MsgReport:
+		return "report"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// partial wire tags mirror agg.Kind but are pinned explicitly so that the
+// wire format never shifts if the enum is reordered.
+const (
+	tagMin   uint8 = 1
+	tagMax   uint8 = 2
+	tagCount uint8 = 3
+	tagSum   uint8 = 4
+	tagAvg   uint8 = 5
+)
+
+func kindTag(k agg.Kind) (uint8, error) {
+	switch k {
+	case agg.Min:
+		return tagMin, nil
+	case agg.Max:
+		return tagMax, nil
+	case agg.Count:
+		return tagCount, nil
+	case agg.Sum:
+		return tagSum, nil
+	case agg.Avg:
+		return tagAvg, nil
+	}
+	return 0, fmt.Errorf("wire: unknown aggregate kind %d", int(k))
+}
+
+func tagKind(t uint8) (agg.Kind, error) {
+	switch t {
+	case tagMin:
+		return agg.Min, nil
+	case tagMax:
+		return agg.Max, nil
+	case tagCount:
+		return agg.Count, nil
+	case tagSum:
+		return agg.Sum, nil
+	case tagAvg:
+		return agg.Avg, nil
+	}
+	return 0, fmt.Errorf("wire: unknown aggregate tag %d", t)
+}
+
+// AppendPartial encodes p (a partial aggregate of kind k) onto buf and
+// returns the extended slice.
+func AppendPartial(buf []byte, k agg.Kind, p agg.Partial) ([]byte, error) {
+	tag, err := kindTag(k)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, tag)
+	switch k {
+	case agg.Min, agg.Max:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(p.Result())))
+		return buf, nil
+	case agg.Count, agg.Sum, agg.Avg:
+		sketches := agg.Sketches(p)
+		if len(sketches) == 0 {
+			return nil, fmt.Errorf("wire: %v partial carries no sketches", k)
+		}
+		first := sketches[0]
+		if first.Vectors() > 255 || first.Bits() > 64 {
+			return nil, fmt.Errorf("wire: sketch dimensions %d/%d exceed wire limits",
+				first.Vectors(), first.Bits())
+		}
+		buf = append(buf, uint8(first.Vectors()), uint8(first.Bits()))
+		for _, sk := range sketches {
+			if sk.Vectors() != first.Vectors() || sk.Bits() != first.Bits() {
+				return nil, fmt.Errorf("wire: mismatched sketch dimensions within partial")
+			}
+			for _, w := range sk.Words() {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		}
+		return buf, nil
+	}
+	return nil, fmt.Errorf("wire: unencodable kind %v", k)
+}
+
+// DecodePartial decodes a partial from buf, returning the partial, its
+// kind and the number of bytes consumed. Scalar partials are
+// reconstructed directly; sketch partials are rebuilt from their words.
+func DecodePartial(buf []byte) (agg.Partial, agg.Kind, int, error) {
+	if len(buf) < 1 {
+		return nil, 0, 0, fmt.Errorf("wire: empty partial")
+	}
+	k, err := tagKind(buf[0])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	switch k {
+	case agg.Min, agg.Max:
+		if len(buf) < 9 {
+			return nil, 0, 0, fmt.Errorf("wire: truncated scalar partial")
+		}
+		v := int64(binary.LittleEndian.Uint64(buf[1:9]))
+		// Reconstruct through the public constructor: a scalar partial's
+		// state is exactly its value.
+		p := agg.NewPartial(k, v, agg.Params{Vectors: 1, Bits: 1}, nil)
+		return p, k, 9, nil
+	case agg.Count, agg.Sum, agg.Avg:
+		if len(buf) < 3 {
+			return nil, 0, 0, fmt.Errorf("wire: truncated sketch header")
+		}
+		vectors, bits := int(buf[1]), int(buf[2])
+		if vectors < 1 || bits < 1 || bits > 64 {
+			return nil, 0, 0, fmt.Errorf("wire: invalid sketch dimensions %d/%d", vectors, bits)
+		}
+		nSketches := 1
+		if k == agg.Avg {
+			nSketches = 2
+		}
+		need := 3 + 8*vectors*nSketches
+		if len(buf) < need {
+			return nil, 0, 0, fmt.Errorf("wire: truncated sketch body (%d < %d)", len(buf), need)
+		}
+		sks := make([]*fm.Sketch, nSketches)
+		off := 3
+		for i := range sks {
+			words := make([]uint64, vectors)
+			for w := range words {
+				words[w] = binary.LittleEndian.Uint64(buf[off : off+8])
+				off += 8
+			}
+			sks[i] = fm.FromWords(words, bits)
+		}
+		p, err := agg.PartialFromSketches(k, sks)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return p, k, need, nil
+	}
+	return nil, 0, 0, fmt.Errorf("wire: unreachable kind %v", k)
+}
+
+// Envelope is a decoded protocol frame.
+type Envelope struct {
+	Kind MsgKind
+	// Hop is meaningful for broadcast frames (sender distance + 1).
+	Hop uint16
+	// Partial is the piggybacked partial aggregate, nil for frames
+	// without one.
+	Partial agg.Partial
+	// AggKind is the aggregate kind of Partial when present.
+	AggKind agg.Kind
+}
+
+// Encode serializes an envelope.
+func Encode(e Envelope) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = binary.LittleEndian.AppendUint16(buf, Magic)
+	buf = append(buf, Version, uint8(e.Kind))
+	buf = binary.LittleEndian.AppendUint16(buf, e.Hop)
+	if e.Partial == nil {
+		buf = append(buf, 0)
+		return buf, nil
+	}
+	buf = append(buf, 1)
+	return AppendPartial(buf, e.AggKind, e.Partial)
+}
+
+// Decode parses an envelope produced by Encode.
+func Decode(buf []byte) (Envelope, error) {
+	var e Envelope
+	if len(buf) < 7 {
+		return e, fmt.Errorf("wire: frame too short (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint16(buf[0:2]) != Magic {
+		return e, fmt.Errorf("wire: bad magic %#x", binary.LittleEndian.Uint16(buf[0:2]))
+	}
+	if buf[2] != Version {
+		return e, fmt.Errorf("wire: unsupported version %d", buf[2])
+	}
+	e.Kind = MsgKind(buf[3])
+	switch e.Kind {
+	case MsgBroadcast, MsgConverge, MsgReport:
+	default:
+		return e, fmt.Errorf("wire: unknown message kind %d", buf[3])
+	}
+	e.Hop = binary.LittleEndian.Uint16(buf[4:6])
+	hasPartial := buf[6]
+	if hasPartial == 0 {
+		return e, nil
+	}
+	p, k, _, err := DecodePartial(buf[7:])
+	if err != nil {
+		return e, err
+	}
+	e.Partial = p
+	e.AggKind = k
+	return e, nil
+}
+
+// Size returns the encoded size of an envelope without materializing it
+// twice (convenience for cost accounting).
+func Size(e Envelope) (int, error) {
+	b, err := Encode(e)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"validity/internal/agg"
+)
+
+func params() agg.Params { return agg.Params{Vectors: 8, Bits: 32} }
+
+func TestScalarRoundTrip(t *testing.T) {
+	for _, k := range []agg.Kind{agg.Min, agg.Max} {
+		for _, v := range []int64{0, 1, -5, 1 << 40} {
+			p := agg.NewPartial(k, v, params(), nil)
+			buf, err := AppendPartial(nil, k, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotK, n, err := DecodePartial(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotK != k || n != len(buf) {
+				t.Fatalf("kind=%v n=%d, want %v/%d", gotK, n, k, len(buf))
+			}
+			if !got.Equal(p) {
+				t.Fatalf("%v(%d): round trip mismatch", k, v)
+			}
+		}
+	}
+}
+
+func TestSketchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []agg.Kind{agg.Count, agg.Sum, agg.Avg} {
+		p := agg.NewPartial(k, 123, params(), rng)
+		// Fold in more state so the sketch is non-trivial.
+		for i := 0; i < 20; i++ {
+			p.Combine(agg.NewPartial(k, int64(i*7+1), params(), rng))
+		}
+		buf, err := AppendPartial(nil, k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotK, n, err := DecodePartial(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotK != k || n != len(buf) {
+			t.Fatalf("kind=%v n=%d len=%d", gotK, n, len(buf))
+		}
+		if !got.Equal(p) {
+			t.Fatalf("%v: round trip mismatch", k)
+		}
+		if got.Result() != p.Result() {
+			t.Fatalf("%v: results differ after round trip", k)
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := agg.NewPartial(agg.Count, 1, params(), rng)
+	e := Envelope{Kind: MsgBroadcast, Hop: 7, Partial: p, AggKind: agg.Count}
+	buf, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != MsgBroadcast || got.Hop != 7 || got.AggKind != agg.Count {
+		t.Fatalf("envelope fields: %+v", got)
+	}
+	if !got.Partial.Equal(p) {
+		t.Fatal("partial mismatch")
+	}
+}
+
+func TestEnvelopeWithoutPartial(t *testing.T) {
+	e := Envelope{Kind: MsgReport, Hop: 0}
+	buf, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial != nil || got.Kind != MsgReport {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := agg.NewPartial(agg.Sum, 5, params(), rng)
+	good, err := Encode(Envelope{Kind: MsgConverge, Partial: p, AggKind: agg.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:4],
+		"bad magic":   append([]byte{0, 0}, good[2:]...),
+		"bad version": append(append([]byte{}, good[:2]...), append([]byte{99}, good[3:]...)...),
+		"bad kind":    append(append([]byte{}, good[:3]...), append([]byte{77}, good[4:]...)...),
+		"truncated":   good[:len(good)-5],
+		"empty body":  good[:7],
+		"bad agg tag": func() []byte { b := append([]byte{}, good...); b[7] = 99; return b }(),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: decode accepted corrupt frame", name)
+		}
+	}
+}
+
+func TestDecodePartialErrors(t *testing.T) {
+	if _, _, _, err := DecodePartial(nil); err == nil {
+		t.Fatal("empty partial accepted")
+	}
+	if _, _, _, err := DecodePartial([]byte{1, 0}); err == nil {
+		t.Fatal("truncated scalar accepted")
+	}
+	if _, _, _, err := DecodePartial([]byte{3, 8}); err == nil {
+		t.Fatal("truncated sketch header accepted")
+	}
+	if _, _, _, err := DecodePartial([]byte{3, 0, 32}); err == nil {
+		t.Fatal("zero-vector sketch accepted")
+	}
+	if _, _, _, err := DecodePartial([]byte{3, 1, 99}); err == nil {
+		t.Fatal("oversized bits accepted")
+	}
+	if _, _, _, err := DecodePartial([]byte{3, 4, 32, 0}); err == nil {
+		t.Fatal("truncated sketch body accepted")
+	}
+}
+
+// Combining after a round trip behaves identically to combining the
+// original — the wire format is lossless for protocol purposes.
+func TestCombineAfterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := agg.NewPartial(agg.Count, 1, params(), rng)
+	b := agg.NewPartial(agg.Count, 1, params(), rng)
+	buf, err := AppendPartial(nil, agg.Count, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, _, _, err := DecodePartial(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := b.Clone()
+	direct.Combine(a)
+	viaWire := b.Clone()
+	viaWire.Combine(decoded)
+	if !direct.Equal(viaWire) {
+		t.Fatal("combine result differs after wire round trip")
+	}
+}
+
+// Property: encoding is deterministic and parse-back stable for random
+// sketch contents.
+func TestQuickEnvelopeRoundTrip(t *testing.T) {
+	f := func(seed int64, hop uint16, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := agg.NewPartial(agg.Avg, int64(n)+1, params(), rng)
+		for i := 0; i < int(n%16); i++ {
+			p.Combine(agg.NewPartial(agg.Avg, int64(i+1), params(), rng))
+		}
+		e := Envelope{Kind: MsgConverge, Hop: hop, Partial: p, AggKind: agg.Avg}
+		buf1, err := Encode(e)
+		if err != nil {
+			return false
+		}
+		buf2, _ := Encode(e)
+		if string(buf1) != string(buf2) {
+			return false
+		}
+		got, err := Decode(buf1)
+		if err != nil {
+			return false
+		}
+		return got.Hop == hop && got.Partial.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper claims small fixed-size messages (§6.3): a count partial with
+// the default c=8, 32-bit vectors must encode in well under 100 bytes.
+func TestMessageSizeSmallAndFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sizes := make(map[int]bool)
+	for i := 0; i < 10; i++ {
+		p := agg.NewPartial(agg.Count, int64(i), params(), rng)
+		for j := 0; j < i*10; j++ {
+			p.Combine(agg.NewPartial(agg.Count, 1, params(), rng))
+		}
+		n, err := Size(Envelope{Kind: MsgConverge, Partial: p, AggKind: agg.Count})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[n] = true
+		if n > 100 {
+			t.Fatalf("count frame %d bytes; paper expects small fixed-size messages", n)
+		}
+	}
+	if len(sizes) != 1 {
+		t.Fatalf("count frames vary in size: %v (must be fixed-size)", sizes)
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	for _, k := range []MsgKind{MsgBroadcast, MsgConverge, MsgReport} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	if MsgKind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}

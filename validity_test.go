@@ -1,0 +1,275 @@
+package validity
+
+import (
+	"testing"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(NetworkConfig{Hosts: 0}); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+	if _, err := NewNetwork(NetworkConfig{Hosts: 3, Edges: [][2]int{{0, 9}}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := NewNetwork(NetworkConfig{Hosts: 3, Values: []int64{1}}); err == nil {
+		t.Fatal("value/host mismatch accepted")
+	}
+	if _, err := NewNetwork(NetworkConfig{Topology: Topology(99), Hosts: 3}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestCustomEdgesNetwork(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Hosts:  4,
+		Edges:  [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+		Values: []int64{5, 15, 1, 25},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Hosts() != 4 || net.Edges() != 4 {
+		t.Fatalf("hosts=%d edges=%d", net.Hosts(), net.Edges())
+	}
+	if net.Value(3) != 25 {
+		t.Fatalf("value(3) = %d", net.Value(3))
+	}
+	res, err := net.Query(QueryConfig{Aggregate: Max, Protocol: Wildfire})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 25 || !res.Valid {
+		t.Fatalf("max = %v valid=%v, want 25/true", res.Value, res.Valid)
+	}
+}
+
+func TestGeneratedTopologiesQueries(t *testing.T) {
+	for _, topo := range []Topology{Random, PowerLaw, Grid, Gnutella} {
+		net, err := NewNetwork(NetworkConfig{Topology: topo, Hosts: 256, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		for _, a := range []Aggregate{Min, Max, Count, Sum, Avg} {
+			res, err := net.Query(QueryConfig{Aggregate: a, Protocol: Wildfire})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", topo, a, err)
+			}
+			if !res.Valid {
+				t.Fatalf("%v/%v: invalid result %v (bounds %v..%v)",
+					topo, a, res.Value, res.Lower, res.Upper)
+			}
+		}
+	}
+}
+
+func TestQueryUnderChurnWildfireValid(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Topology: Gnutella, Hosts: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{25, 100} {
+		res, err := net.Query(QueryConfig{Aggregate: Max, Protocol: Wildfire, Failures: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Valid {
+			t.Fatalf("R=%d: wildfire max %v outside [%v,%v]", r, res.Value, res.Upper, res.Lower)
+		}
+		if res.HC > res.HU {
+			t.Fatalf("R=%d: |HC|=%d > |HU|=%d", r, res.HC, res.HU)
+		}
+	}
+}
+
+func TestAllProtocolsRun(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Topology: Random, Hosts: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Protocol{Wildfire, SpanningTree, DAG, AllReport, RandomizedReport, Gossip} {
+		res, err := net.Query(QueryConfig{Aggregate: Count, Protocol: p})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Messages == 0 {
+			t.Fatalf("%v: no messages sent", p)
+		}
+		if res.Value <= 0 {
+			t.Fatalf("%v: non-positive count %v", p, res.Value)
+		}
+	}
+}
+
+func TestExactGroundTruth(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Hosts:  3,
+		Edges:  [][2]int{{0, 1}, {1, 2}},
+		Values: []int64{2, 4, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[Aggregate]float64{Min: 2, Max: 6, Count: 3, Sum: 12, Avg: 4}
+	for a, want := range cases {
+		got, err := net.Exact(a)
+		if err != nil || got != want {
+			t.Fatalf("Exact(%v) = %v (err %v), want %v", a, got, err, want)
+		}
+	}
+	if _, err := net.Exact(Aggregate(42)); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{Topology: Random, Hosts: 50, Seed: 5})
+	if _, err := net.Query(QueryConfig{Hq: 99}); err == nil {
+		t.Fatal("out-of-range hq accepted")
+	}
+	if _, err := net.Query(QueryConfig{Failures: 50}); err == nil {
+		t.Fatal("failing all hosts accepted")
+	}
+	if _, err := net.Query(QueryConfig{Aggregate: Aggregate(42)}); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+	if _, err := net.Query(QueryConfig{Protocol: Protocol(42)}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := net.Query(QueryConfig{Schedule: []Failure{{H: 999, T: 1}}}); err == nil {
+		t.Fatal("out-of-range schedule host accepted")
+	}
+}
+
+func TestExplicitSchedule(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Hosts:  3,
+		Edges:  [][2]int{{0, 1}, {1, 2}},
+		Values: []int64{1, 2, 3},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host 1 dies immediately: host 2 unreachable, HC = {0}.
+	res, err := net.Query(QueryConfig{
+		Aggregate: Max,
+		Protocol:  Wildfire,
+		Schedule:  []Failure{{H: 1, T: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 {
+		t.Fatalf("max = %v, want 1 (only hq reachable)", res.Value)
+	}
+	if !res.Valid || res.HC != 1 {
+		t.Fatalf("valid=%v HC=%d", res.Valid, res.HC)
+	}
+}
+
+func TestWirelessAccountingCheaper(t *testing.T) {
+	mk := func(wireless bool) int64 {
+		net, err := NewNetwork(NetworkConfig{Topology: Grid, Hosts: 100, Seed: 6, Wireless: wireless})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := net.Query(QueryConfig{Aggregate: Count, Protocol: Wildfire})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Messages
+	}
+	if w, p := mk(true), mk(false); w >= p {
+		t.Fatalf("wireless (%d msgs) not cheaper than point-to-point (%d)", w, p)
+	}
+}
+
+func TestRandomizedReportDefaults(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{Topology: Random, Hosts: 300, Seed: 7})
+	res, err := net.Query(QueryConfig{Aggregate: Count, Protocol: RandomizedReport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived p for a 300-host network is ~1, so estimate ≈ exact count.
+	if res.Value < 200 || res.Value > 400 {
+		t.Fatalf("randomized count = %v, want ≈ 300", res.Value)
+	}
+}
+
+func TestSkipOracle(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{Topology: Random, Hosts: 100, Seed: 8})
+	res, err := net.Query(QueryConfig{Aggregate: Count, Protocol: Wildfire, SkipOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid || res.HC != 0 || res.HU != 0 {
+		t.Fatal("oracle fields should be zero when skipped")
+	}
+}
+
+func TestWildfireTimeCostIsDeadline(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{Topology: Random, Hosts: 100, Seed: 9})
+	dHat := net.Diameter() + 2
+	res, err := net.Query(QueryConfig{Aggregate: Count, Protocol: Wildfire, DHat: dHat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeCost != 2*dHat {
+		t.Fatalf("wildfire time cost = %d, want 2D̂ = %d", res.TimeCost, 2*dHat)
+	}
+	// SPANNINGTREE's time cost is its actual longest chain, below 2D̂.
+	res2, err := net.Query(QueryConfig{Aggregate: Count, Protocol: SpanningTree, DHat: dHat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TimeCost >= res.TimeCost {
+		t.Fatalf("spanning tree time cost %d not below wildfire's %d", res2.TimeCost, res.TimeCost)
+	}
+}
+
+func TestParsers(t *testing.T) {
+	if a, err := ParseAggregate("sum"); err != nil || a != Sum {
+		t.Fatal("ParseAggregate failed")
+	}
+	if _, err := ParseAggregate("median"); err == nil {
+		t.Fatal("ParseAggregate accepted junk")
+	}
+	if p, err := ParseProtocol("wildfire"); err != nil || p != Wildfire {
+		t.Fatal("ParseProtocol failed")
+	}
+	if p, err := ParseProtocol("st"); err != nil || p != SpanningTree {
+		t.Fatal("ParseProtocol alias failed")
+	}
+	if _, err := ParseProtocol("quantum"); err == nil {
+		t.Fatal("ParseProtocol accepted junk")
+	}
+	if p, err := ParseProtocol("gossip"); err != nil || p != Gossip {
+		t.Fatal("ParseProtocol gossip failed")
+	}
+	if Gossip.String() != "gossip" {
+		t.Fatal("Gossip name wrong")
+	}
+	if Wildfire.String() != "wildfire" || Gnutella.String() != "gnutella" || Count.String() != "count" {
+		t.Fatal("String() names wrong")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (float64, int64) {
+		net, err := NewNetwork(NetworkConfig{Topology: PowerLaw, Hosts: 300, Seed: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := net.Query(QueryConfig{Aggregate: Count, Protocol: Wildfire, Failures: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Value, res.Messages
+	}
+	v1, m1 := run()
+	v2, m2 := run()
+	if v1 != v2 || m1 != m2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", v1, m1, v2, m2)
+	}
+}
