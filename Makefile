@@ -1,0 +1,32 @@
+# Tier-1 verification plus the full CI gate.
+
+GO ?= go
+
+.PHONY: all build vet test race ci fmt demo
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: compile everything, vet, and run the full suite under
+# the race detector (the node runtime and transports are concurrent code;
+# plain `go test` would let scheduling bugs through).
+ci: build vet race
+
+fmt:
+	gofmt -l .
+
+# demo runs the multi-process WILDFIRE COUNT: two validityd workers plus
+# one querying process shard 60 hosts over TCP on loopback.
+demo: build
+	./scripts/demo-validityd.sh

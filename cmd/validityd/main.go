@@ -1,0 +1,40 @@
+// Command validityd serves a shard of a dynamic network's hosts and
+// answers aggregate queries with Single-Site Validity — the paper's
+// protocols on real sockets instead of the simulator.
+//
+// Every process is handed the same topology (generator + seed, or an
+// edge-list file) and the same host→address map, and serves a disjoint
+// host range. The process serving h_q issues a WILDFIRE query, waits out
+// the 2D̂δ deadline in wall clock, and reports the declared result next to
+// the oracle's q(H_C)/q(H_U) bounds.
+//
+// A three-process COUNT over 60 hosts on loopback:
+//
+//	validityd -transport tcp -topology random -hosts 60 -seed 23 \
+//	    -peers "0-19=127.0.0.1:7101,20-39=127.0.0.1:7102,40-59=127.0.0.1:7103" \
+//	    -serve 20-39 &
+//	validityd -transport tcp ... -serve 40-59 &
+//	validityd -transport tcp ... -serve 0-19 -query -hq 0
+//
+// The same query fully in process (channel transport, no sockets):
+//
+//	validityd -transport chan -topology random -hosts 60 -seed 23 -query -hq 0
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"validity/internal/daemon"
+)
+
+func main() {
+	cfg, err := daemon.ParseArgs("validityd", os.Args[1:])
+	if err != nil {
+		os.Exit(2) // flag package already printed the message
+	}
+	if err := daemon.Run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "validityd:", err)
+		os.Exit(1)
+	}
+}

@@ -20,13 +20,12 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"sync"
 	"time"
 
 	"validity/internal/agg"
 	"validity/internal/graph"
+	"validity/internal/node"
 	"validity/internal/protocol"
-	"validity/internal/sim"
 	"validity/internal/topology"
 	"validity/internal/zipfval"
 )
@@ -82,15 +81,15 @@ func runWindowLive(g *graph.Graph, values []int64, alive []bool, dHat int) (floa
 	// Hop = 5ms: comfortably above OS timer granularity, so wall-clock
 	// hop timing tracks the protocol's δ model faithfully.
 	const hop = 5 * time.Millisecond
-	ln := sim.NewLiveNetwork(g, values, hop)
+	ln := node.NewLiveNetwork(g, values, hop)
 	// c = 64 FM repetitions: the avg is a ratio of two estimates, so the
 	// demo uses more repetitions than the paper's default 8 to keep the
 	// displayed numbers stable (§6.4 shows accuracy grows with c).
 	q := protocol.Query{Kind: agg.Avg, Hq: 0, DHat: dHat, Params: agg.Params{Vectors: 64, Bits: 32}}
 	wf := protocol.NewWildfire(q)
-	// The live runner has no shared RNG; FM partials need one. Give each
-	// host its own seeded source via a locked wrapper handler.
-	if err := installLive(wf, ln, g); err != nil {
+	// The live runtime has no shared RNG; InstallLive gives each host its
+	// own seeded source (FM partials need coin tosses at activation).
+	if err := node.InstallLive(ln, wf, 9); err != nil {
 		log.Fatal(err)
 	}
 	for h, a := range alive {
@@ -107,51 +106,4 @@ func runWindowLive(g *graph.Graph, values []int64, alive []bool, dHat int) (floa
 		log.Fatal("no result from live window")
 	}
 	return v, ln.MessagesSent()
-}
-
-// installLive wires a Wildfire instance onto a live network. The event
-// simulator hands handlers a shared deterministic RNG; live contexts
-// return a nil RNG, so we wrap each handler to substitute a per-host
-// source (concurrency-safe: one goroutine per host).
-func installLive(wf *protocol.Wildfire, ln *sim.LiveNetwork, g *graph.Graph) error {
-	// Install on a throwaway event network first to materialize per-host
-	// handlers, then move them onto the live network.
-	tmp := sim.NewNetwork(sim.Config{Graph: g, Seed: 1})
-	if err := wf.Install(tmp); err != nil {
-		return err
-	}
-	for h := 0; h < g.Len(); h++ {
-		ln.SetHandler(graph.HostID(h), &rngHandler{
-			inner: tmp.Handler(graph.HostID(h)),
-			rng:   rand.New(rand.NewSource(int64(h) + 1)),
-		})
-	}
-	return nil
-}
-
-// rngHandler adapts a protocol handler to the live runner by serializing
-// callbacks (the live runner may interleave timers and receives) and by
-// providing randomness where the context cannot.
-type rngHandler struct {
-	mu    sync.Mutex
-	inner sim.Handler
-	rng   *rand.Rand
-}
-
-func (r *rngHandler) Start(ctx *sim.Context) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.inner.Start(ctx.WithRand(r.rng))
-}
-
-func (r *rngHandler) Receive(ctx *sim.Context, msg sim.Message) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.inner.Receive(ctx.WithRand(r.rng), msg)
-}
-
-func (r *rngHandler) Timer(ctx *sim.Context, tag int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.inner.Timer(ctx.WithRand(r.rng), tag)
 }

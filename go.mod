@@ -1,0 +1,3 @@
+module validity
+
+go 1.24

@@ -1,0 +1,98 @@
+package agg
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"validity/internal/fm"
+)
+
+// Partials ride inside protocol messages as interface values, so the TCP
+// transport's gob frames need every concrete Partial registered and
+// encodable. The fields are unexported by design (the partial's algebra is
+// its whole contract), hence explicit GobEncoder/GobDecoder
+// implementations; sketch-backed partials delegate to fm.Sketch's own gob
+// layout.
+
+func init() {
+	gob.Register(&scalarPartial{})
+	gob.Register(&countPartial{})
+	gob.Register(&sumPartial{})
+	gob.Register(&avgPartial{})
+}
+
+// GobEncode implements gob.GobEncoder: u8 kind | i64 value.
+func (s *scalarPartial) GobEncode() ([]byte, error) {
+	buf := make([]byte, 0, 9)
+	buf = append(buf, uint8(s.kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.val))
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *scalarPartial) GobDecode(b []byte) error {
+	if len(b) != 9 {
+		return fmt.Errorf("agg: scalar partial frame of %d bytes", len(b))
+	}
+	k := Kind(b[0])
+	if k != Min && k != Max {
+		return fmt.Errorf("agg: scalar partial of kind %d", b[0])
+	}
+	s.kind = k
+	s.val = int64(binary.LittleEndian.Uint64(b[1:9]))
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (c *countPartial) GobEncode() ([]byte, error) { return c.sk.GobEncode() }
+
+// GobDecode implements gob.GobDecoder.
+func (c *countPartial) GobDecode(b []byte) error {
+	c.sk = new(fm.Sketch)
+	return c.sk.GobDecode(b)
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *sumPartial) GobEncode() ([]byte, error) { return s.sk.GobEncode() }
+
+// GobDecode implements gob.GobDecoder.
+func (s *sumPartial) GobDecode(b []byte) error {
+	s.sk = new(fm.Sketch)
+	return s.sk.GobDecode(b)
+}
+
+// GobEncode implements gob.GobEncoder: u32 sum-frame length | sum frame |
+// count frame.
+func (a *avgPartial) GobEncode() ([]byte, error) {
+	sum, err := a.sum.GobEncode()
+	if err != nil {
+		return nil, err
+	}
+	cnt, err := a.cnt.GobEncode()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 4+len(sum)+len(cnt))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sum)))
+	buf = append(buf, sum...)
+	buf = append(buf, cnt...)
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (a *avgPartial) GobDecode(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("agg: avg partial frame of %d bytes", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[:4]))
+	if len(b) < 4+n {
+		return fmt.Errorf("agg: avg partial sum frame truncated")
+	}
+	a.sum = new(fm.Sketch)
+	if err := a.sum.GobDecode(b[4 : 4+n]); err != nil {
+		return err
+	}
+	a.cnt = new(fm.Sketch)
+	return a.cnt.GobDecode(b[4+n:])
+}

@@ -1,0 +1,385 @@
+// Package daemon is the engine behind cmd/validityd: it turns a topology,
+// a shard assignment, and a transport choice into a running set of hosts
+// answering one WILDFIRE aggregate query with Single-Site Validity
+// reporting against the oracle.
+//
+// Every participating process is given the same topology (a generator
+// kind + seed, or an edge-list file) and the same host→address map, and
+// serves a disjoint subset of hosts. The process serving h_q issues the
+// query, waits out the 2D̂δ deadline in wall-clock time, and prints the
+// declared result next to the oracle's q(H_C) / q(H_U) bounds. With
+// -transport chan the same binary answers the query fully in process —
+// the zero-config smoke test of the exact code path the fleet runs.
+//
+// The logic lives in this package (rather than in cmd/validityd's main)
+// so the multi-process end-to-end test can re-exec the test binary as a
+// fleet of real OS processes without building the daemon first.
+package daemon
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"validity/internal/agg"
+	"validity/internal/churn"
+	"validity/internal/graph"
+	"validity/internal/node"
+	"validity/internal/oracle"
+	"validity/internal/protocol"
+	"validity/internal/sim"
+	"validity/internal/topology"
+	"validity/internal/transport"
+	"validity/internal/zipfval"
+)
+
+// Config is one validityd process's configuration.
+type Config struct {
+	// Topology selects a §6.1 generator (random | power-law | grid |
+	// gnutella); TopoFile overrides it with an edge-list file. Every
+	// process must use identical settings — the graph is regenerated
+	// locally from the shared seed, never shipped.
+	Topology string
+	TopoFile string
+	Hosts    int
+	Seed     int64
+
+	// Transport is "chan" (all hosts in this process) or "tcp" (hosts
+	// sharded across processes per Peers/Serve).
+	Transport string
+	// Peers maps host ranges to addresses: "0-19=127.0.0.1:7001,20-39=…".
+	// Every host must be covered (tcp only).
+	Peers string
+	// Serve lists the hosts this process runs: "20-39" or "0,5,7-9"
+	// (tcp only; chan serves everything).
+	Serve string
+
+	// Query makes this process issue the aggregate query at Hq (which
+	// must be served here) and print the result; other processes just
+	// serve their hosts for RunFor.
+	Query bool
+	Hq    int
+	Agg   string
+	// DHat is the stable-diameter overestimate D̂; 0 derives diameter+2
+	// from the topology.
+	DHat    int
+	Vectors int
+	// Hop is the wall-clock realization of the per-hop bound δ.
+	Hop time.Duration
+
+	// Kill schedules departures, "host@tick,host@tick". Entries for hosts
+	// served here are executed; all entries feed the oracle's churn
+	// schedule, so every process can be handed the same flag.
+	Kill string
+
+	// RunFor bounds a non-query process's lifetime (0 = derived from the
+	// query deadline with generous slack).
+	RunFor time.Duration
+
+	// Out receives the report lines (defaults to os.Stdout).
+	Out io.Writer
+}
+
+// Flags binds a Config to a FlagSet, so cmd/validityd and the test
+// harness parse identically.
+func Flags(fs *flag.FlagSet) *Config {
+	cfg := &Config{}
+	fs.StringVar(&cfg.Topology, "topology", "random", "random | power-law | grid | gnutella")
+	fs.StringVar(&cfg.TopoFile, "topology-file", "", "edge-list file overriding -topology")
+	fs.IntVar(&cfg.Hosts, "hosts", 100, "network size |H| (generated topologies)")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "shared seed: topology, values, sketch coin tosses")
+	fs.StringVar(&cfg.Transport, "transport", "chan", "chan (in-process) | tcp (sharded fleet)")
+	fs.StringVar(&cfg.Peers, "peers", "", "host→address map, e.g. 0-19=127.0.0.1:7001,20-39=127.0.0.1:7002")
+	fs.StringVar(&cfg.Serve, "serve", "", "hosts this process serves, e.g. 20-39")
+	fs.BoolVar(&cfg.Query, "query", false, "issue the query at -hq and report the result")
+	fs.IntVar(&cfg.Hq, "hq", 0, "querying host h_q")
+	fs.StringVar(&cfg.Agg, "agg", "count", "min | max | count | sum | avg")
+	fs.IntVar(&cfg.DHat, "dhat", 0, "stable-diameter overestimate D̂ (0 = diameter+2)")
+	fs.IntVar(&cfg.Vectors, "c", 64, "FM sketch repetitions for count/sum/avg")
+	fs.DurationVar(&cfg.Hop, "hop", 5*time.Millisecond, "wall-clock per-hop delay bound δ")
+	fs.StringVar(&cfg.Kill, "kill", "", "departure schedule host@tick,host@tick (§3.2)")
+	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = auto)")
+	return cfg
+}
+
+// ParseArgs parses command-line arguments into a Config.
+func ParseArgs(name string, args []string) (*Config, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	cfg := Flags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// parseHostSet parses "0-19,25,40-44" into a sorted host list.
+func parseHostSet(spec string, n int) ([]graph.HostID, error) {
+	var out []graph.HostID
+	seen := make(map[graph.HostID]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi := part, part
+		if i := strings.IndexByte(part, '-'); i >= 0 {
+			lo, hi = part[:i], part[i+1:]
+		}
+		a, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: host set %q: %w", spec, err)
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: host set %q: %w", spec, err)
+		}
+		if a > b || a < 0 || b >= n {
+			return nil, fmt.Errorf("daemon: host range %q outside [0,%d)", part, n)
+		}
+		for h := a; h <= b; h++ {
+			if !seen[graph.HostID(h)] {
+				seen[graph.HostID(h)] = true
+				out = append(out, graph.HostID(h))
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("daemon: empty host set %q", spec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// parsePeers expands the range=addr map into a per-host address table.
+func parsePeers(spec string, n int) ([]string, error) {
+	addrs := make([]string, n)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.IndexByte(part, '=')
+		if i < 0 {
+			return nil, fmt.Errorf("daemon: peer entry %q is not range=addr", part)
+		}
+		hosts, err := parseHostSet(part[:i], n)
+		if err != nil {
+			return nil, err
+		}
+		addr := strings.TrimSpace(part[i+1:])
+		if addr == "" {
+			return nil, fmt.Errorf("daemon: peer entry %q has empty address", part)
+		}
+		for _, h := range hosts {
+			addrs[h] = addr
+		}
+	}
+	for h, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("daemon: host %d has no address in -peers", h)
+		}
+	}
+	return addrs, nil
+}
+
+// killEntry is one parsed -kill item.
+type killEntry struct {
+	h graph.HostID
+	t sim.Time
+}
+
+func parseKills(spec string, n int) ([]killEntry, error) {
+	var out []killEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.IndexByte(part, '@')
+		if i < 0 {
+			return nil, fmt.Errorf("daemon: kill entry %q is not host@tick", part)
+		}
+		h, err := strconv.Atoi(part[:i])
+		if err != nil {
+			return nil, fmt.Errorf("daemon: kill entry %q: %w", part, err)
+		}
+		t, err := strconv.Atoi(part[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("daemon: kill entry %q: %w", part, err)
+		}
+		if h < 0 || h >= n {
+			return nil, fmt.Errorf("daemon: kill host %d outside [0,%d)", h, n)
+		}
+		out = append(out, killEntry{h: graph.HostID(h), t: sim.Time(t)})
+	}
+	return out, nil
+}
+
+// fmSlack is the multiplicative tolerance granted to FM estimates when
+// judging validity: 1 + 4·(0.78/√c), four standard errors of the
+// Flajolet–Martin estimator at c repetitions.
+func fmSlack(kind agg.Kind, vectors int) float64 {
+	if !kind.DuplicateSensitive() {
+		return 1 // min/max are exact
+	}
+	return 1 + 4*0.78/math.Sqrt(float64(vectors))
+}
+
+// buildGraph regenerates the shared topology.
+func buildGraph(cfg *Config) (*graph.Graph, error) {
+	if cfg.TopoFile != "" {
+		f, err := os.Open(cfg.TopoFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.LoadEdgeList(f)
+	}
+	kind, err := topology.ParseKind(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Hosts < 2 {
+		return nil, fmt.Errorf("daemon: need ≥ 2 hosts, got %d", cfg.Hosts)
+	}
+	return topology.Generate(kind, cfg.Hosts, cfg.Seed), nil
+}
+
+// Run executes one validityd process to completion.
+func Run(cfg *Config) error {
+	out := cfg.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	g, err := buildGraph(cfg)
+	if err != nil {
+		return err
+	}
+	n := g.Len()
+	values := zipfval.Default(cfg.Seed).Values(n)
+	kind, err := agg.ParseKind(cfg.Agg)
+	if err != nil {
+		return err
+	}
+	dHat := cfg.DHat
+	if dHat == 0 {
+		dHat = g.Diameter(nil) + 2
+	}
+	if cfg.Hq < 0 || cfg.Hq >= n {
+		return fmt.Errorf("daemon: h_q %d outside graph of %d hosts", cfg.Hq, n)
+	}
+	kills, err := parseKills(cfg.Kill, n)
+	if err != nil {
+		return err
+	}
+
+	var (
+		tr    transport.Transport
+		local []graph.HostID // nil = all
+	)
+	switch cfg.Transport {
+	case "chan":
+		// Delivery at δ/2 leaves the same processing headroom under the
+		// bound that node.NewLiveNetwork documents.
+		tr = transport.NewChannel(n, cfg.Hop/2)
+	case "tcp":
+		if cfg.Peers == "" || cfg.Serve == "" {
+			return fmt.Errorf("daemon: -transport tcp needs -peers and -serve")
+		}
+		addrs, err := parsePeers(cfg.Peers, n)
+		if err != nil {
+			return err
+		}
+		if local, err = parseHostSet(cfg.Serve, n); err != nil {
+			return err
+		}
+		tr = transport.NewTCP(addrs)
+	default:
+		return fmt.Errorf("daemon: unknown transport %q", cfg.Transport)
+	}
+
+	rt, err := node.New(node.Config{
+		Graph:     g,
+		Values:    values,
+		Transport: tr,
+		Hop:       cfg.Hop,
+		Local:     local,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.Query && !rt.Local(graph.HostID(cfg.Hq)) {
+		return fmt.Errorf("daemon: -query requires h_q %d in -serve", cfg.Hq)
+	}
+
+	q := protocol.Query{
+		Kind:   kind,
+		Hq:     graph.HostID(cfg.Hq),
+		DHat:   dHat,
+		Params: agg.Params{Vectors: cfg.Vectors, Bits: 32},
+	}
+	wf := protocol.NewWildfire(q)
+	if err := node.Install(rt, wf, cfg.Seed); err != nil {
+		return err
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	defer rt.Stop()
+
+	// Departures: local entries are executed at their tick on the query
+	// clock; all entries inform the oracle, so every process of a fleet
+	// can be handed the identical -kill flag.
+	var sched churn.Schedule
+	for _, k := range kills {
+		sched = append(sched, churn.Failure{H: k.h, T: k.t})
+		rt.KillAt(k.h, k.t)
+	}
+
+	deadline := time.Duration(2*dHat)*cfg.Hop + 10*cfg.Hop + 100*time.Millisecond
+	if !cfg.Query {
+		runFor := cfg.RunFor
+		if runFor == 0 {
+			runFor = 4*deadline + 2*time.Second
+		}
+		fmt.Fprintf(out, "validityd: serving %d/%d hosts over %s for %v\n",
+			len(localOrAll(local, n)), n, cfg.Transport, runFor)
+		time.Sleep(runFor)
+		return nil
+	}
+
+	fmt.Fprintf(out, "validityd: %s(%s) at h_q=%d over %d hosts, D̂=%d, δ=%v, transport=%s\n",
+		"wildfire", kind, cfg.Hq, n, dHat, cfg.Hop, cfg.Transport)
+	time.Sleep(deadline)
+	rt.Stop() // quiesce every local host before reading protocol state
+	v, ok := wf.Result()
+	if !ok {
+		return fmt.Errorf("daemon: wildfire declared no result at h_q")
+	}
+
+	b := oracle.Compute(g, values, q.Hq, sched, q.Deadline(), kind)
+	slack := fmSlack(kind, cfg.Vectors)
+	st := rt.Stats()
+	fmt.Fprintf(out,
+		"validityd: result=%.2f lower=%.2f upper=%.2f slack=%.2f valid=%t msgs=%d maxproc=%d timecost=%d\n",
+		v, b.LowerValue, b.UpperValue, slack, b.ValidFactor(v, slack),
+		st.MessagesSent, st.MaxComputation(), st.TimeCost)
+	return nil
+}
+
+func localOrAll(local []graph.HostID, n int) []graph.HostID {
+	if local != nil {
+		return local
+	}
+	all := make([]graph.HostID, n)
+	for i := range all {
+		all[i] = graph.HostID(i)
+	}
+	return all
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package daemon
+
+import "time"
+
+// testHop is the wall-clock δ used by these tests; see race_on_test.go.
+const testHop = 5 * time.Millisecond

@@ -1,0 +1,9 @@
+//go:build race
+
+package daemon
+
+import "time"
+
+// testHop widens the wall-clock δ under the race detector's slowdown (see
+// internal/node's race_on_test.go).
+const testHop = 25 * time.Millisecond

@@ -1,0 +1,46 @@
+package fm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Sketches cross process boundaries inside protocol messages on the TCP
+// transport (internal/transport), which frames everything with encoding/
+// gob. A Sketch's fields are unexported by design, so it implements the
+// GobEncoder/GobDecoder pair explicitly with a fixed little-endian layout:
+//
+//	u8 bits | u32 vector count | count × u64 vectors
+
+// GobEncode implements gob.GobEncoder.
+func (s *Sketch) GobEncode() ([]byte, error) {
+	buf := make([]byte, 0, 5+8*len(s.vecs))
+	buf = append(buf, uint8(s.bits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.vecs)))
+	for _, v := range s.vecs {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Sketch) GobDecode(b []byte) error {
+	if len(b) < 5 {
+		return fmt.Errorf("fm: sketch frame too short (%d bytes)", len(b))
+	}
+	bits := int(b[0])
+	if bits < 1 || bits > 64 {
+		return fmt.Errorf("fm: invalid bits %d", bits)
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:5]))
+	if n < 1 || len(b) != 5+8*n {
+		return fmt.Errorf("fm: sketch frame of %d bytes does not hold %d vectors", len(b), n)
+	}
+	vecs := make([]uint64, n)
+	for i := range vecs {
+		vecs[i] = binary.LittleEndian.Uint64(b[5+8*i:])
+	}
+	s.bits = bits
+	s.vecs = vecs
+	return nil
+}

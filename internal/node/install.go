@@ -1,0 +1,39 @@
+package node
+
+import (
+	"math/rand"
+
+	"validity/internal/graph"
+	"validity/internal/protocol"
+	"validity/internal/sim"
+)
+
+// Install materializes p's per-host handlers and moves the local ones onto
+// rt, each wrapped with an independent per-host RNG derived from seed.
+//
+// Protocols build their handlers in Install(*sim.Network), so a scratch
+// event-loop network over the same graph is used purely as a handler
+// factory — it is never run. The per-host seed derivation depends only on
+// (seed, host), so a fleet of processes sharding one topology builds
+// identical sketch coin-tosses for any given host no matter which process
+// serves it, which keeps multi-process results reproducible.
+func Install(rt *Runtime, p protocol.Protocol, seed int64) error {
+	scratch := sim.NewNetwork(sim.Config{Graph: rt.Graph(), Seed: seed})
+	if err := p.Install(scratch); err != nil {
+		return err
+	}
+	for h := 0; h < rt.Graph().Len(); h++ {
+		id := graph.HostID(h)
+		if !rt.Local(id) {
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed ^ (int64(h)+1)*0x5851F42D4C957F2D))
+		rt.SetHandler(id, WithRand(scratch.Handler(id), rng))
+	}
+	return nil
+}
+
+// InstallLive is Install for the single-process LiveNetwork face.
+func InstallLive(ln *LiveNetwork, p protocol.Protocol, seed int64) error {
+	return Install(ln.rt, p, seed)
+}

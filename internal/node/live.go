@@ -1,0 +1,64 @@
+package node
+
+import (
+	"time"
+
+	"validity/internal/graph"
+	"validity/internal/sim"
+	"validity/internal/transport"
+)
+
+// LiveNetwork runs every host of a topology in the calling process — one
+// goroutine per host, messages over the in-process channel transport, the
+// per-hop delay bound δ realized as `hop` of wall-clock time. It is the
+// single-process convenience face of the Runtime and keeps the API the
+// examples have always used (it previously lived in internal/sim; it moved
+// here when the runtime grew pluggable transports, because sim cannot
+// import node without a cycle).
+type LiveNetwork struct {
+	rt *Runtime
+}
+
+// NewLiveNetwork creates a live runner over g where hop is the wall-clock
+// realization of the per-hop delay bound δ. Values may be nil (all zeros).
+//
+// δ is a *bound* (§3.1): actual delivery must come in under it with room
+// for queueing and handler processing, or wall-clock time outruns the
+// causal progress of the protocols and their 2D̂δ deadline guards cut
+// convergecast short. The channel transport therefore delivers at δ/2,
+// the same margin a deployment would engineer between its observed
+// latency and the δ it advertises.
+func NewLiveNetwork(g *graph.Graph, values []int64, hop time.Duration) *LiveNetwork {
+	rt, err := New(Config{
+		Graph:     g,
+		Values:    values,
+		Transport: transport.NewChannel(g.Len(), hop/2),
+		Hop:       hop,
+	})
+	if err != nil {
+		panic(err) // only reachable on len(values) ≠ g.Len(), as before
+	}
+	return &LiveNetwork{rt: rt}
+}
+
+// SetHandler installs the protocol state machine for host h.
+func (ln *LiveNetwork) SetHandler(h graph.HostID, hd sim.Handler) { ln.rt.SetHandler(h, hd) }
+
+// MessagesSent returns the number of messages sent so far.
+func (ln *LiveNetwork) MessagesSent() int64 { return ln.rt.Stats().MessagesSent }
+
+// Start launches one goroutine per host and invokes every handler's Start.
+func (ln *LiveNetwork) Start() {
+	if err := ln.rt.Start(); err != nil {
+		panic(err) // channel transport binds cannot fail on fresh runtime
+	}
+}
+
+// Kill marks host h failed; it stops processing messages immediately.
+func (ln *LiveNetwork) Kill(h graph.HostID) { ln.rt.Kill(h) }
+
+// Stop terminates all host goroutines and waits for them to exit.
+func (ln *LiveNetwork) Stop() { ln.rt.Stop() }
+
+// Runtime exposes the underlying runtime (for stats beyond MessagesSent).
+func (ln *LiveNetwork) Runtime() *Runtime { return ln.rt }

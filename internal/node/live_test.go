@@ -1,4 +1,4 @@
-package sim
+package node
 
 import (
 	"sync"
@@ -6,17 +6,28 @@ import (
 	"time"
 
 	"validity/internal/graph"
+	"validity/internal/sim"
 )
 
-// liveEcho is a concurrency-safe variant of echoHandler for the goroutine
-// backend.
+// line builds a path graph 0-1-…-(n-1).
+func line(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.HostID(i), graph.HostID(i+1))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// liveEcho floods a token once; concurrency-safe because each host's
+// callbacks are serialized, but sawToken is read cross-goroutine.
 type liveEcho struct {
 	mu       sync.Mutex
 	initiate bool
 	seen     bool
 }
 
-func (e *liveEcho) Start(ctx *Context) {
+func (e *liveEcho) Start(ctx *sim.Context) {
 	if e.initiate {
 		e.mu.Lock()
 		e.seen = true
@@ -25,7 +36,7 @@ func (e *liveEcho) Start(ctx *Context) {
 	}
 }
 
-func (e *liveEcho) Receive(ctx *Context, msg Message) {
+func (e *liveEcho) Receive(ctx *sim.Context, msg sim.Message) {
 	e.mu.Lock()
 	if e.seen {
 		e.mu.Unlock()
@@ -36,7 +47,7 @@ func (e *liveEcho) Receive(ctx *Context, msg Message) {
 	ctx.SendAllExcept(msg.From, "token")
 }
 
-func (e *liveEcho) Timer(ctx *Context, tag int) {}
+func (e *liveEcho) Timer(ctx *sim.Context, tag int) {}
 
 func (e *liveEcho) sawToken() bool {
 	e.mu.Lock()
@@ -101,12 +112,30 @@ func TestLiveNetworkStopIdempotent(t *testing.T) {
 	ln.Stop() // must not panic or deadlock
 }
 
+// timerHandler drives SetTimer/Timer callbacks.
+type timerHandler struct {
+	onStart func(ctx *sim.Context)
+	onTimer func(tag int)
+}
+
+func (h *timerHandler) Start(ctx *sim.Context) {
+	if h.onStart != nil {
+		h.onStart(ctx)
+	}
+}
+func (h *timerHandler) Receive(ctx *sim.Context, msg sim.Message) {}
+func (h *timerHandler) Timer(ctx *sim.Context, tag int) {
+	if h.onTimer != nil {
+		h.onTimer(tag)
+	}
+}
+
 func TestLiveNetworkTimer(t *testing.T) {
 	g := line(2)
 	ln := NewLiveNetwork(g, nil, time.Millisecond)
 	done := make(chan int, 1)
 	ln.SetHandler(0, &timerHandler{
-		onStart: func(ctx *Context) { ctx.SetTimer(ctx.Now()+5, 7) },
+		onStart: func(ctx *sim.Context) { ctx.SetTimer(ctx.Now()+5, 7) },
 		onTimer: func(tag int) {
 			select {
 			case done <- tag:

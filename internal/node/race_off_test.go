@@ -1,0 +1,6 @@
+//go:build !race
+
+package node
+
+// raceSlowdown is 1 without the race detector; see race_on_test.go.
+const raceSlowdown = 1

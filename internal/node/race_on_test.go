@@ -1,0 +1,10 @@
+//go:build race
+
+package node
+
+// raceSlowdown widens wall-clock budgets under the race detector, whose
+// instrumentation slows execution severalfold; the per-hop bound δ must
+// stay above the (now longer) real per-hop latency or the protocols'
+// deadline guards fire early and the tests measure the scheduler, not the
+// system.
+const raceSlowdown = 5

@@ -1,0 +1,476 @@
+// Package node is the goroutine-per-peer runtime that executes the
+// protocol state machines of internal/protocol — unchanged sim.Handler
+// implementations — on real concurrent peers over any transport
+// (internal/transport). It is the layer that turns the paper's
+// reproduction into a deployable system: the same WILDFIRE handler that
+// runs under the deterministic event loop for the figures runs here over
+// in-process channels for the examples, or over TCP sockets for a fleet
+// of validityd processes jointly answering one query (cmd/validityd).
+//
+// The mapping to the paper's model (§3.1–3.2): each peer is a host of G,
+// Kill is an end-user switching the application off mid-query, and the
+// per-hop delay bound δ is a configured wall-clock duration Hop — timers
+// and deadlines expressed in ticks are realized as multiples of it. Every
+// callback of a given host runs on that host's single goroutine: receives,
+// timer firings, and Start are serialized through one inbox, so handlers
+// written for the single-threaded event loop need no extra locking here.
+//
+// Cost accounting mirrors §6.3 and sim.Stats: messages sent, messages
+// processed per host (computation cost is the max), and the longest causal
+// chain of messages (time cost), carried across process boundaries in
+// every transport frame.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"validity/internal/graph"
+	"validity/internal/sim"
+	"validity/internal/transport"
+)
+
+// inboxCap bounds a host's pending-callback queue. Transport delivery
+// goroutines block when it fills, which back-pressures senders instead of
+// growing memory without bound.
+const inboxCap = 4096
+
+// item is one serialized callback for a host goroutine.
+type item struct {
+	kind  itemKind
+	msg   transport.Message
+	tag   int
+	chain int
+}
+
+type itemKind uint8
+
+const (
+	itemStart itemKind = iota
+	itemMsg
+	itemTimer
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Graph is the global topology G; every participating process must
+	// hold the same one (validityd regenerates it from a shared seed or
+	// topology file).
+	Graph *graph.Graph
+	// Values are per-host attribute values (nil = all zeros). Only the
+	// entries of locally served hosts are read.
+	Values []int64
+	// Transport carries messages between hosts. The Runtime binds its
+	// local hosts on it and owns its lifecycle from Start to Stop.
+	Transport transport.Transport
+	// Hop is the wall-clock realization of the per-hop delay bound δ;
+	// virtual time is time.Since(start)/Hop. Zero pins virtual time at 0
+	// and fires all timers immediately (useful only for tests).
+	Hop time.Duration
+	// Local lists the hosts this runtime serves; nil means all of them
+	// (the single-process case).
+	Local []graph.HostID
+}
+
+// Stats aggregates the §6.3 cost measures observed by this runtime. In a
+// multi-process deployment each process sees its own share; totals are the
+// sum over processes (messages) and max over hosts (computation, time).
+type Stats struct {
+	// MessagesSent counts sends issued by local hosts.
+	MessagesSent int64
+	// MessagesDelivered counts callbacks delivered to alive local hosts.
+	MessagesDelivered int64
+	// MessagesDropped counts messages lost at a dead local host or a
+	// failed transport send.
+	MessagesDropped int64
+	// PerHostProcessed[h] is the computation cost of local host h
+	// (zero for hosts served elsewhere).
+	PerHostProcessed []int64
+	// TimeCost is the longest causal chain observed at a local host.
+	TimeCost int
+}
+
+// MaxComputation returns the maximum per-host computation cost.
+func (s *Stats) MaxComputation() int64 {
+	var max int64
+	for _, c := range s.PerHostProcessed {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Runtime executes sim.Handlers for a set of local hosts over a Transport.
+type Runtime struct {
+	g      *graph.Graph
+	values []int64
+	tr     transport.Transport
+	hop    time.Duration
+	local  []bool
+
+	handlers []sim.Handler
+	inbox    []chan item
+
+	mu      sync.Mutex
+	alive   []bool
+	started bool
+	closed  bool
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	// The virtual clock arms at the runtime's first send or delivery, not
+	// at Start: in a multi-process deployment the shards boot at different
+	// wall times, and the protocols' tick guards measure time since the
+	// query reached them (a host that boots minutes early must not believe
+	// the query deadline has already passed). A host at distance l from
+	// h_q therefore reads a clock late by at most l·δ — the same skew any
+	// real deployment of the §3.1 model lives with. The anchor is a
+	// time.Time so elapsed time rides Go's monotonic clock: an NTP step
+	// mid-query must not move the deadline guards.
+	clockOnce  sync.Once
+	clockStart atomic.Pointer[time.Time]
+
+	sent      atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	processed []int64 // updated with atomics
+	timeCost  atomic.Int64
+}
+
+// New builds a runtime over cfg. Handlers are installed with SetHandler
+// before Start.
+func New(cfg Config) (*Runtime, error) {
+	n := cfg.Graph.Len()
+	values := cfg.Values
+	if values == nil {
+		values = make([]int64, n)
+	}
+	if len(values) != n {
+		return nil, fmt.Errorf("node: %d values for %d hosts", len(values), n)
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("node: nil transport")
+	}
+	rt := &Runtime{
+		g:         cfg.Graph,
+		values:    values,
+		tr:        cfg.Transport,
+		hop:       cfg.Hop,
+		local:     make([]bool, n),
+		handlers:  make([]sim.Handler, n),
+		inbox:     make([]chan item, n),
+		alive:     make([]bool, n),
+		quit:      make(chan struct{}),
+		processed: make([]int64, n),
+	}
+	if cfg.Local == nil {
+		for h := range rt.local {
+			rt.local[h] = true
+		}
+	} else {
+		for _, h := range cfg.Local {
+			if h < 0 || int(h) >= n {
+				return nil, fmt.Errorf("node: local host %d outside graph of %d hosts", h, n)
+			}
+			rt.local[h] = true
+		}
+	}
+	for h := range rt.local {
+		if rt.local[h] {
+			rt.alive[h] = true
+			rt.inbox[h] = make(chan item, inboxCap)
+		}
+	}
+	return rt, nil
+}
+
+// Graph returns the topology.
+func (rt *Runtime) Graph() *graph.Graph { return rt.g }
+
+// Local reports whether h is served by this runtime.
+func (rt *Runtime) Local(h graph.HostID) bool { return rt.local[h] }
+
+// SetHandler installs the protocol state machine for local host h.
+// Handlers for hosts served elsewhere are ignored, so callers can install
+// a full protocol (e.g. protocol.Wildfire materialized on a scratch
+// sim.Network) without tracking the shard boundary themselves.
+func (rt *Runtime) SetHandler(h graph.HostID, hd sim.Handler) {
+	if rt.local[h] {
+		rt.handlers[h] = hd
+	}
+}
+
+// Handler returns the handler installed at local host h (nil otherwise).
+func (rt *Runtime) Handler(h graph.HostID) sim.Handler { return rt.handlers[h] }
+
+// Start binds every local host on the transport, opens it, launches one
+// goroutine per local host, and invokes each handler's Start on its own
+// goroutine.
+func (rt *Runtime) Start() error {
+	rt.mu.Lock()
+	if rt.started {
+		rt.mu.Unlock()
+		return fmt.Errorf("node: runtime already started")
+	}
+	rt.started = true
+	rt.mu.Unlock()
+
+	for h := 0; h < rt.g.Len(); h++ {
+		if !rt.local[h] {
+			continue
+		}
+		id := graph.HostID(h)
+		// Start is enqueued before the host is reachable, so it is always
+		// the first callback the host goroutine runs.
+		rt.inbox[h] <- item{kind: itemStart}
+		if err := rt.tr.Bind(id, rt.recvFunc(id)); err != nil {
+			return err
+		}
+	}
+	if err := rt.tr.Open(); err != nil {
+		return err
+	}
+	for h := 0; h < rt.g.Len(); h++ {
+		if rt.local[h] {
+			rt.wg.Add(1)
+			go rt.hostLoop(graph.HostID(h))
+		}
+	}
+	return nil
+}
+
+// recvFunc enqueues a transport delivery into h's inbox.
+func (rt *Runtime) recvFunc(h graph.HostID) transport.RecvFunc {
+	return func(m transport.Message) {
+		select {
+		case rt.inbox[h] <- item{kind: itemMsg, msg: m}:
+		case <-rt.quit:
+		}
+	}
+}
+
+// hostLoop is host h: it drains the inbox, running every callback of h on
+// this single goroutine.
+func (rt *Runtime) hostLoop(h graph.HostID) {
+	defer rt.wg.Done()
+	for {
+		select {
+		case <-rt.quit:
+			return
+		case it := <-rt.inbox[h]:
+			if !rt.aliveHost(h) {
+				if it.kind == itemMsg {
+					rt.dropped.Add(1)
+				}
+				continue
+			}
+			hd := rt.handlers[h]
+			if hd == nil {
+				continue
+			}
+			switch it.kind {
+			case itemStart:
+				hd.Start(sim.BackendContext(rt, h, 0))
+			case itemMsg:
+				rt.armClock()
+				rt.delivered.Add(1)
+				atomic.AddInt64(&rt.processed[h], 1)
+				rt.observeChain(it.msg.Chain)
+				msg := sim.MakeMessage(it.msg.From, it.msg.To, it.msg.Payload, it.msg.Chain)
+				hd.Receive(sim.BackendContext(rt, h, it.msg.Chain), msg)
+			case itemTimer:
+				hd.Timer(sim.BackendContext(rt, h, it.chain), it.tag)
+			}
+		}
+	}
+}
+
+func (rt *Runtime) observeChain(chain int) {
+	for {
+		cur := rt.timeCost.Load()
+		if int64(chain) <= cur || rt.timeCost.CompareAndSwap(cur, int64(chain)) {
+			return
+		}
+	}
+}
+
+func (rt *Runtime) aliveHost(h graph.HostID) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.alive[h]
+}
+
+// Kill switches local host h off mid-run (§3.2): it processes nothing
+// more, its timers never fire, and the transport drops traffic to and from
+// it. Killing a host served by another process is that process's call to
+// make; here it is a no-op.
+func (rt *Runtime) Kill(h graph.HostID) {
+	if !rt.local[h] {
+		return
+	}
+	rt.mu.Lock()
+	rt.alive[h] = false
+	rt.mu.Unlock()
+	rt.tr.Kill(h)
+}
+
+// Alive reports whether local host h is alive.
+func (rt *Runtime) Alive(h graph.HostID) bool { return rt.local[h] && rt.aliveHost(h) }
+
+// KillAt schedules Kill(h) at virtual tick `at` on the runtime's query
+// clock. Because the clock arms at the first traffic, a departure
+// scheduled for tick 10 happens 10 δ after the query reaches this
+// process, no matter how much earlier the process booted.
+func (rt *Runtime) KillAt(h graph.HostID, at sim.Time) {
+	if !rt.local[h] {
+		return
+	}
+	go func() {
+		poll := rt.hop / 2
+		if poll <= 0 {
+			poll = time.Millisecond
+		}
+		for rt.clockStart.Load() == nil {
+			select {
+			case <-time.After(poll):
+			case <-rt.quit:
+				return
+			}
+		}
+		delay := time.Duration(at-rt.Now()) * rt.hop
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-rt.quit:
+				return
+			}
+		}
+		rt.Kill(h)
+	}()
+}
+
+// Stop terminates all host goroutines, closes the transport, and waits
+// for everything to drain. Safe to call more than once.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	close(rt.quit)
+	rt.mu.Unlock()
+	rt.tr.Close()
+	rt.wg.Wait()
+}
+
+// Stats returns a snapshot of the cost counters.
+func (rt *Runtime) Stats() Stats {
+	s := Stats{
+		MessagesSent:      rt.sent.Load(),
+		MessagesDelivered: rt.delivered.Load(),
+		MessagesDropped:   rt.dropped.Load(),
+		PerHostProcessed:  make([]int64, len(rt.processed)),
+		TimeCost:          int(rt.timeCost.Load()),
+	}
+	for h := range rt.processed {
+		s.PerHostProcessed[h] = atomic.LoadInt64(&rt.processed[h])
+	}
+	return s
+}
+
+// --- sim.Backend implementation -----------------------------------------
+
+// armClock starts the virtual clock if it is not yet running.
+func (rt *Runtime) armClock() {
+	rt.clockOnce.Do(func() {
+		t := time.Now()
+		rt.clockStart.Store(&t)
+	})
+}
+
+// Now implements sim.Backend: wall time since the clock armed, in δ hop
+// units; zero until the runtime has seen any traffic.
+func (rt *Runtime) Now() sim.Time {
+	start := rt.clockStart.Load()
+	if start == nil || rt.hop <= 0 {
+		return 0
+	}
+	return sim.Time(time.Since(*start) / rt.hop)
+}
+
+// Value implements sim.Backend.
+func (rt *Runtime) Value(h graph.HostID) int64 { return rt.values[h] }
+
+// Send implements sim.Backend: the message goes to the transport, which
+// delivers it if the destination is alive at arrival.
+func (rt *Runtime) Send(from, to graph.HostID, payload any, chain int) {
+	if !rt.aliveHost(from) {
+		return // a departed host says nothing more
+	}
+	rt.armClock()
+	rt.sent.Add(1)
+	err := rt.tr.Send(transport.Message{From: from, To: to, Chain: chain, Payload: payload})
+	if err != nil {
+		rt.dropped.Add(1)
+	}
+}
+
+// SetTimer implements sim.Backend: the tick delta becomes a wall-clock
+// timer whose firing is serialized through the host's inbox like any other
+// callback.
+//
+// A timer for the current tick means "end of this round": the event loop
+// fires it after all of the tick's deliveries (evDeliver orders before
+// evTimer), which is how WILDFIRE batches a round's arrivals into one
+// flush (Example 5.1). The live realization is a quarter-hop delay — long
+// enough to gather the messages of the same causal round, short enough
+// that receive (≤ δ/2 on the channel transport) plus flush stays within
+// the advertised per-hop bound δ.
+func (rt *Runtime) SetTimer(h graph.HostID, at sim.Time, tag, chain int) {
+	delay := time.Duration(at-rt.Now()) * rt.hop
+	if delay <= 0 {
+		delay = rt.hop / 4
+	}
+	go func() {
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-rt.quit:
+				return
+			}
+		}
+		select {
+		case rt.inbox[h] <- item{kind: itemTimer, tag: tag, chain: chain}:
+		case <-rt.quit:
+		}
+	}()
+}
+
+// --- handler helpers -----------------------------------------------------
+
+// WithRand wraps hd so that every callback context carries rng. Live
+// backends have no shared deterministic RNG (sim.Context.Rand returns nil
+// there), but FM-sketch partials need coin tosses at activation; the
+// runtime serializes all callbacks of a host on one goroutine, so an
+// unsynchronized per-host source is safe.
+func WithRand(hd sim.Handler, rng *rand.Rand) sim.Handler {
+	return &randHandler{inner: hd, rng: rng}
+}
+
+type randHandler struct {
+	inner sim.Handler
+	rng   *rand.Rand
+}
+
+func (r *randHandler) Start(ctx *sim.Context) { r.inner.Start(ctx.WithRand(r.rng)) }
+func (r *randHandler) Receive(ctx *sim.Context, msg sim.Message) {
+	r.inner.Receive(ctx.WithRand(r.rng), msg)
+}
+func (r *randHandler) Timer(ctx *sim.Context, tag int) { r.inner.Timer(ctx.WithRand(r.rng), tag) }

@@ -1,0 +1,45 @@
+package protocol
+
+import "encoding/gob"
+
+// The node runtime (internal/node) carries protocol messages over
+// pluggable transports; the TCP transport gob-encodes each message's
+// payload as an interface value, which requires every concrete message
+// type registered here. The partial-aggregate types riding inside them are
+// registered by internal/agg.
+//
+// Empty marker messages (the bare broadcasts and 1-bit reports) implement
+// GobEncoder/GobDecoder explicitly because gob refuses struct types with
+// no exported fields; their entire information content is their type.
+
+func init() {
+	gob.Register(wfBroadcast{})
+	gob.Register(wfConverge{})
+	gob.Register(stBroadcast{})
+	gob.Register(stReport{})
+	gob.Register(dagBroadcast{})
+	gob.Register(dagReport{})
+	gob.Register(arBroadcast{})
+	gob.Register(arReport{})
+	gob.Register(rrBroadcast{})
+	gob.Register(rrReport{})
+	gob.Register(gsPair{})
+}
+
+// GobEncode implements gob.GobEncoder.
+func (arBroadcast) GobEncode() ([]byte, error) { return []byte{}, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (*arBroadcast) GobDecode([]byte) error { return nil }
+
+// GobEncode implements gob.GobEncoder.
+func (rrBroadcast) GobEncode() ([]byte, error) { return []byte{}, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (*rrBroadcast) GobDecode([]byte) error { return nil }
+
+// GobEncode implements gob.GobEncoder.
+func (rrReport) GobEncode() ([]byte, error) { return []byte{}, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (*rrReport) GobDecode([]byte) error { return nil }

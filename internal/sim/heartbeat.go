@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"encoding/gob"
+
 	"validity/internal/graph"
 )
 
@@ -24,8 +26,19 @@ type HeartbeatMonitor struct {
 	started  bool
 }
 
-// heartbeatMsg is the periodic liveness beacon.
+// heartbeatMsg is the periodic liveness beacon. It crosses process
+// boundaries when a monitored handler runs on the TCP transport, so it is
+// gob-registered with explicit encoders (gob refuses field-less structs;
+// the beacon's entire content is its type).
 type heartbeatMsg struct{}
+
+func init() { gob.Register(heartbeatMsg{}) }
+
+// GobEncode implements gob.GobEncoder.
+func (heartbeatMsg) GobEncode() ([]byte, error) { return []byte{}, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (*heartbeatMsg) GobDecode([]byte) error { return nil }
 
 // heartbeatTag drives the periodic send timer; chosen high to avoid
 // colliding with protocol tags.

@@ -10,8 +10,9 @@
 // The simulator is deterministic: all randomness comes from the caller's
 // seeded rand.Rand, and events at equal times are processed in a fixed
 // order (by sequence number). Determinism is what makes the paper's figures
-// reproducible byte for byte; a goroutine-per-peer live runner for the
-// examples is provided separately in live.go.
+// reproducible byte for byte; the goroutine-per-peer runtime that executes
+// the same Handlers on real concurrent peers and real transports lives in
+// internal/node and plugs in through the Backend interface below.
 //
 // Cost accounting follows §6.3 exactly:
 //
@@ -27,7 +28,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
-	"time"
 
 	"validity/internal/graph"
 )
@@ -73,6 +73,13 @@ type Message struct {
 
 // Chain returns the causal depth of the message (see Stats.TimeCost).
 func (m *Message) Chain() int { return m.chain }
+
+// MakeMessage builds a Message with an explicit causal depth. The chain
+// field is private to keep the event loop's accounting honest; runtimes
+// that deliver transport frames (internal/node) reconstruct messages here.
+func MakeMessage(from, to graph.HostID, payload any, chain int) Message {
+	return Message{From: from, To: to, Payload: payload, chain: chain}
+}
 
 // Handler is the per-host protocol logic. Implementations must be pure
 // state machines: all communication goes through the Context.
@@ -348,20 +355,50 @@ func (nw *Network) recordSent(count int64) {
 	nw.stats.PerTickSent[t] += count
 }
 
+// Backend is the execution substrate behind a Context when handlers run
+// outside the deterministic event loop: something that can deliver
+// messages, schedule timers, and answer environment queries for real
+// concurrent peers. internal/node implements it over pluggable transports
+// (in-process channels, TCP); the event-driven Network does not use it.
+//
+// Time is still measured in ticks of δ — a Backend maps ticks to wall
+// clock however it realizes the per-hop bound.
+type Backend interface {
+	// Now returns the current virtual time in δ ticks.
+	Now() Time
+	// Value returns host h's attribute value.
+	Value(h graph.HostID) int64
+	// Graph returns the topology.
+	Graph() *graph.Graph
+	// Send transmits payload from one host to another with the given
+	// causal depth; delivery happens only if the destination is alive at
+	// arrival (§3.2).
+	Send(from, to graph.HostID, payload any, chain int)
+	// SetTimer schedules Timer(tag) on h at absolute tick `at`, carrying
+	// the causal depth of the scheduling callback.
+	SetTimer(h graph.HostID, at Time, tag, chain int)
+}
+
+// BackendContext returns a Context for host h executing on b with the
+// given causal chain depth. Runtimes mint one per handler callback.
+func BackendContext(b Backend, h graph.HostID, chain int) *Context {
+	return &Context{be: b, host: h, chain: chain}
+}
+
 // Context is the capability a handler uses to act on the network. It is
 // valid only for the duration of the callback it was passed to. Exactly
-// one of nw (event-driven backend) or live (goroutine backend) is set.
+// one of nw (event-driven backend) or be (live runtime backend) is set.
 type Context struct {
 	nw    *Network
-	live  *LiveNetwork
+	be    Backend
 	host  graph.HostID
 	chain int
 	rng   *rand.Rand // optional override, see WithRand
 }
 
-// WithRand returns a copy of the context whose Rand() yields r. The live
-// backend has no shared deterministic RNG, so callers running handlers on
-// LiveNetwork wrap contexts with per-host sources.
+// WithRand returns a copy of the context whose Rand() yields r. Live
+// backends have no shared deterministic RNG, so runtimes executing
+// handlers on one wrap contexts with per-host sources (node.WithRand).
 func (c *Context) WithRand(r *rand.Rand) *Context {
 	cp := *c
 	cp.rng = r
@@ -371,11 +408,11 @@ func (c *Context) WithRand(r *rand.Rand) *Context {
 // Self returns the host this context belongs to.
 func (c *Context) Self() graph.HostID { return c.host }
 
-// Now returns the current virtual time (elapsed hop units on the live
+// Now returns the current virtual time (elapsed hop units on a live
 // backend).
 func (c *Context) Now() Time {
-	if c.live != nil {
-		return c.live.now()
+	if c.be != nil {
+		return c.be.Now()
 	}
 	return c.nw.now
 }
@@ -383,8 +420,8 @@ func (c *Context) Now() Time {
 // Value returns this host's attribute value, generated on receipt of the
 // query in the ad-hoc model (§3.1); here it is preassigned per run.
 func (c *Context) Value() int64 {
-	if c.live != nil {
-		return c.live.values[c.host]
+	if c.be != nil {
+		return c.be.Value(c.host)
 	}
 	return c.nw.values[c.host]
 }
@@ -397,21 +434,21 @@ func (c *Context) Neighbors() []graph.HostID { return c.graph().Neighbors(c.host
 func (c *Context) Degree() int { return c.graph().Degree(c.host) }
 
 func (c *Context) graph() *graph.Graph {
-	if c.live != nil {
-		return c.live.g
+	if c.be != nil {
+		return c.be.Graph()
 	}
 	return c.nw.g
 }
 
 // Rand returns the simulation RNG (deterministic per seed), or the
-// WithRand override if set. The live backend has no shared RNG; handlers
+// WithRand override if set. Live backends have no shared RNG; handlers
 // running there must be given one via WithRand, otherwise Rand returns
 // nil.
 func (c *Context) Rand() *rand.Rand {
 	if c.rng != nil {
 		return c.rng
 	}
-	if c.live != nil {
+	if c.be != nil {
 		return nil
 	}
 	return c.nw.rng
@@ -424,11 +461,11 @@ func (c *Context) Send(to graph.HostID, payload any) {
 	if !c.graph().HasEdge(c.host, to) {
 		panic(fmt.Sprintf("sim: host %d sending to non-neighbor %d", c.host, to))
 	}
-	msg := Message{From: c.host, To: to, Payload: payload, chain: c.chain + 1}
-	if c.live != nil {
-		c.live.deliverAfter(msg)
+	if c.be != nil {
+		c.be.Send(c.host, to, payload, c.chain+1)
 		return
 	}
+	msg := Message{From: c.host, To: to, Payload: payload, chain: c.chain + 1}
 	c.nw.recordSent(1)
 	c.nw.push(&event{t: c.nw.now + 1, kind: evDeliver, msg: msg})
 }
@@ -456,14 +493,14 @@ func (c *Context) sendMany(skip graph.HostID, payload any) {
 			continue
 		}
 		count++
-		msg := Message{From: c.host, To: to, Payload: payload, chain: c.chain + 1}
-		if c.live != nil {
-			c.live.deliverAfter(msg)
+		if c.be != nil {
+			c.be.Send(c.host, to, payload, c.chain+1)
 			continue
 		}
+		msg := Message{From: c.host, To: to, Payload: payload, chain: c.chain + 1}
 		c.nw.push(&event{t: c.nw.now + 1, kind: evDeliver, msg: msg})
 	}
-	if count == 0 || c.live != nil {
+	if count == 0 || c.be != nil {
 		return
 	}
 	if c.nw.medium == MediumWireless {
@@ -474,44 +511,24 @@ func (c *Context) sendMany(skip graph.HostID, payload any) {
 }
 
 // SetTimer schedules Timer(tag) on this host at absolute time t. Timers on
-// failed hosts never fire. On the live backend the timer is realized with
-// a wall-clock timer of (t − now) hop units.
+// failed hosts never fire. On a live backend the timer is realized with a
+// wall-clock timer of (t − now) hop units.
+//
+// A timer set while processing a message continues that message's causal
+// chain, so batched sends triggered by timers keep honest time-cost
+// accounting.
 func (c *Context) SetTimer(t Time, tag int) {
-	if c.live != nil {
-		ln, h := c.live, c.host
-		delay := time.Duration(t-ln.now()) * ln.hop
-		if delay < 0 {
-			delay = 0
-		}
-		go func() {
-			timer := time.NewTimer(delay)
-			defer timer.Stop()
-			select {
-			case <-timer.C:
-			case <-ln.quit:
-				return
-			}
-			ln.mu.Lock()
-			ok := ln.alive[h]
-			ln.mu.Unlock()
-			if ok {
-				if hd := ln.handlers[h]; hd != nil {
-					hd.Timer(ln.liveCtx(h), tag)
-				}
-			}
-		}()
+	if c.be != nil {
+		c.be.SetTimer(c.host, t, tag, c.chain)
 		return
 	}
-	// A timer set while processing a message continues that message's
-	// causal chain, so batched sends triggered by timers keep honest
-	// time-cost accounting.
 	c.nw.push(&event{t: t, kind: evTimer, host: c.host, tag: tag, chain: c.chain})
 }
 
 // Medium reports the configured transmission medium (always point-to-point
-// on the live backend).
+// on live backends).
 func (c *Context) Medium() Medium {
-	if c.live != nil {
+	if c.be != nil {
 		return MediumPointToPoint
 	}
 	return c.nw.medium

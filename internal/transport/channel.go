@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"validity/internal/graph"
+)
+
+// Channel is the in-process Transport: every host lives in the calling
+// process and messages are handed between goroutines directly. An optional
+// delay emulates the per-hop bound δ in wall-clock time, which is what
+// lets the node runtime's tick arithmetic (deadlines, early-deadline
+// guards) stay faithful to the paper's model when no real network is
+// involved.
+type Channel struct {
+	n     int
+	delay time.Duration
+
+	mu     sync.Mutex
+	recv   []RecvFunc
+	dead   []bool
+	closed bool
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewChannel returns an in-process transport for hosts 0..n-1 where each
+// delivery takes `delay` of wall-clock time (0 = immediate).
+func NewChannel(n int, delay time.Duration) *Channel {
+	return &Channel{
+		n:     n,
+		delay: delay,
+		recv:  make([]RecvFunc, n),
+		dead:  make([]bool, n),
+		quit:  make(chan struct{}),
+	}
+}
+
+// Bind implements Transport.
+func (c *Channel) Bind(h graph.HostID, recv RecvFunc) error {
+	if h < 0 || int(h) >= c.n {
+		return fmt.Errorf("transport: host %d outside [0,%d)", h, c.n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.recv[h] != nil {
+		return fmt.Errorf("transport: host %d already bound", h)
+	}
+	c.recv[h] = recv
+	return nil
+}
+
+// Open implements Transport; the channel transport needs no setup.
+func (c *Channel) Open() error { return nil }
+
+// Send implements Transport: the message is delivered to the destination's
+// RecvFunc after the configured delay, provided the destination is still
+// alive at delivery time (a host that dies with messages in flight simply
+// never sees them, §3.2).
+func (c *Channel) Send(msg Message) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("transport: send on closed channel transport")
+	}
+	if msg.To < 0 || int(msg.To) >= c.n {
+		c.mu.Unlock()
+		return fmt.Errorf("transport: destination %d outside [0,%d)", msg.To, c.n)
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+
+	go func() {
+		defer c.wg.Done()
+		if c.delay > 0 {
+			timer := time.NewTimer(c.delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-c.quit:
+				return
+			}
+		}
+		c.mu.Lock()
+		fn := c.recv[msg.To]
+		if c.dead[msg.To] || c.closed {
+			fn = nil
+		}
+		c.mu.Unlock()
+		if fn != nil {
+			fn(msg)
+		}
+	}()
+	return nil
+}
+
+// Kill implements Transport.
+func (c *Channel) Kill(h graph.HostID) {
+	if h < 0 || int(h) >= c.n {
+		return
+	}
+	c.mu.Lock()
+	c.dead[h] = true
+	c.mu.Unlock()
+}
+
+// Alive implements Transport.
+func (c *Channel) Alive(h graph.HostID) bool {
+	if h < 0 || int(h) >= c.n {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recv[h] != nil && !c.dead[h]
+}
+
+// Close implements Transport.
+func (c *Channel) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.quit)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return nil
+}

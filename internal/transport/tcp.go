@@ -1,0 +1,332 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"validity/internal/graph"
+)
+
+// maxFrame bounds one wire frame. Protocol messages are a few hundred
+// bytes (an FM partial is vectors×8 bytes plus a small envelope); anything
+// near this limit is a corrupt or hostile stream.
+const maxFrame = 1 << 24
+
+// TCP is the cross-process Transport: hosts are assigned to addresses, and
+// every process serves the hosts whose address it listens on. Frames are
+// length-prefixed gob: a 4-byte big-endian length followed by the
+// gob-encoded Message. Each frame carries its own gob stream so frames are
+// self-contained and a torn connection never corrupts a successor; the
+// per-frame type-description overhead is irrelevant next to the protocols'
+// message counts. Payload types cross the wire as gob interface values, so
+// they must be gob-registered (internal/agg and internal/protocol register
+// theirs in package init).
+//
+// Hosts that share an address short-circuit in process without touching a
+// socket, which is what makes sharding |H| hosts across a handful of OS
+// processes cheap. Outbound connections are dialed lazily with retry, so
+// a fleet of validityd processes can start in any order.
+type TCP struct {
+	addrs []string // host → advertised address
+
+	// DialTimeout bounds one connection attempt; DialBudget bounds the
+	// total time Send spends retrying a dial (peers may still be starting).
+	// WriteTimeout bounds one frame write, so a stalled peer (full kernel
+	// buffer, blackholed link) cannot freeze the sending host goroutine —
+	// the write errors, the connection drops, and Send retries once.
+	DialTimeout  time.Duration
+	DialBudget   time.Duration
+	WriteTimeout time.Duration
+
+	mu        sync.Mutex
+	recv      map[graph.HostID]RecvFunc
+	dead      map[graph.HostID]bool
+	listeners map[string]net.Listener
+	conns     map[string]*tcpConn
+	dialing   map[string]*sync.Mutex
+	opened    bool
+	closed    bool
+	quit      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// tcpConn serializes frame writes on one outbound connection.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCP returns a TCP transport where addrs[h] is the address serving
+// host h. The caller Binds its local hosts and then Opens; one listener is
+// created per distinct local address.
+func NewTCP(addrs []string) *TCP {
+	return &TCP{
+		addrs:        addrs,
+		DialTimeout:  500 * time.Millisecond,
+		DialBudget:   5 * time.Second,
+		WriteTimeout: 10 * time.Second,
+		recv:         make(map[graph.HostID]RecvFunc),
+		dead:         make(map[graph.HostID]bool),
+		listeners:    make(map[string]net.Listener),
+		conns:        make(map[string]*tcpConn),
+		dialing:      make(map[string]*sync.Mutex),
+		quit:         make(chan struct{}),
+	}
+}
+
+// Bind implements Transport.
+func (t *TCP) Bind(h graph.HostID, recv RecvFunc) error {
+	if h < 0 || int(h) >= len(t.addrs) {
+		return fmt.Errorf("transport: host %d has no address", h)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opened {
+		return fmt.Errorf("transport: bind after open")
+	}
+	if _, ok := t.recv[h]; ok {
+		return fmt.Errorf("transport: host %d already bound", h)
+	}
+	t.recv[h] = recv
+	return nil
+}
+
+// Open implements Transport: one listener per distinct address among the
+// bound hosts starts accepting inbound frames.
+func (t *TCP) Open() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opened {
+		return fmt.Errorf("transport: already open")
+	}
+	t.opened = true
+	for h := range t.recv {
+		addr := t.addrs[h]
+		if _, ok := t.listeners[addr]; ok {
+			continue
+		}
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("transport: listen %s: %w", addr, err)
+		}
+		t.listeners[addr] = l
+		t.wg.Add(1)
+		go t.acceptLoop(l)
+	}
+	return nil
+}
+
+func (t *TCP) acceptLoop(l net.Listener) {
+	defer t.wg.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() { // unblock the pending Read when the transport closes
+		select {
+		case <-t.quit:
+			c.Close()
+		case <-done: // connection ended on its own; don't linger
+		}
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(c, body); err != nil {
+			return
+		}
+		var msg Message
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
+			return
+		}
+		t.deliverLocal(msg)
+	}
+}
+
+// deliverLocal hands msg to the bound RecvFunc, dropping it if the
+// destination is not served here or has been killed.
+func (t *TCP) deliverLocal(msg Message) {
+	t.mu.Lock()
+	fn := t.recv[msg.To]
+	if t.dead[msg.To] || t.closed {
+		fn = nil
+	}
+	t.mu.Unlock()
+	if fn != nil {
+		fn(msg)
+	}
+}
+
+// Send implements Transport. Destinations served by this process are
+// delivered directly; remote destinations go over a lazily-dialed,
+// write-serialized connection to the destination's address.
+func (t *TCP) Send(msg Message) error {
+	if msg.To < 0 || int(msg.To) >= len(t.addrs) {
+		return fmt.Errorf("transport: destination %d has no address", msg.To)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: send on closed transport")
+	}
+	if t.dead[msg.From] {
+		t.mu.Unlock()
+		return nil // a departed host says nothing more (§3.2)
+	}
+	_, local := t.recv[msg.To]
+	t.mu.Unlock()
+
+	if local {
+		t.deliverLocal(msg)
+		return nil
+	}
+
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+		return fmt.Errorf("transport: encode to %d: %w", msg.To, err)
+	}
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+
+	addr := t.addrs[msg.To]
+	for attempt := 0; ; attempt++ {
+		conn, err := t.conn(addr)
+		if err != nil {
+			return err
+		}
+		conn.mu.Lock()
+		if t.WriteTimeout > 0 {
+			conn.c.SetWriteDeadline(time.Now().Add(t.WriteTimeout))
+		}
+		_, err = conn.c.Write(frame)
+		conn.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		t.dropConn(addr, conn)
+		if attempt == 1 {
+			return fmt.Errorf("transport: write to %s: %w", addr, err)
+		}
+	}
+}
+
+// conn returns the cached connection to addr, dialing with retry if none
+// exists. Dials to distinct addresses proceed in parallel; concurrent
+// senders to the same address share one dial.
+func (t *TCP) conn(addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	dmu, ok := t.dialing[addr]
+	if !ok {
+		dmu = &sync.Mutex{}
+		t.dialing[addr] = dmu
+	}
+	t.mu.Unlock()
+
+	dmu.Lock()
+	defer dmu.Unlock()
+	t.mu.Lock()
+	if c, ok := t.conns[addr]; ok { // another sender won the dial
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	deadline := time.Now().Add(t.DialBudget)
+	for {
+		c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+		if err == nil {
+			tc := &tcpConn{c: c}
+			t.mu.Lock()
+			if t.closed {
+				t.mu.Unlock()
+				c.Close()
+				return nil, fmt.Errorf("transport: closed while dialing %s", addr)
+			}
+			t.conns[addr] = tc
+			t.mu.Unlock()
+			return tc, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-t.quit:
+			return nil, fmt.Errorf("transport: closed while dialing %s", addr)
+		}
+	}
+}
+
+func (t *TCP) dropConn(addr string, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[addr] == c {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+	c.c.Close()
+}
+
+// Kill implements Transport: local host h goes silent — inbound frames for
+// it are dropped from now on and its sends are swallowed.
+func (t *TCP) Kill(h graph.HostID) {
+	t.mu.Lock()
+	t.dead[h] = true
+	t.mu.Unlock()
+}
+
+// Alive implements Transport.
+func (t *TCP) Alive(h graph.HostID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, bound := t.recv[h]
+	return bound && !t.dead[h]
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.quit)
+	for _, l := range t.listeners {
+		l.Close()
+	}
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

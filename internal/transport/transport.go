@@ -1,0 +1,71 @@
+// Package transport abstracts the message-passing substrate the node
+// runtime (internal/node) executes the paper's protocols on. Where
+// internal/sim realizes the §3.1 system model with a deterministic event
+// loop, a Transport realizes it with real concurrency: hosts are addressed
+// endpoints, sends are asynchronous, and delivery reaches only hosts that
+// are still alive — a killed host silently swallows everything addressed
+// to it, matching the fail-stop departures of §3.2.
+//
+// Two implementations are provided:
+//
+//   - Channel: all hosts live in one process; delivery goes through
+//     goroutines with an optional per-hop delay that emulates the
+//     universal delay bound δ in wall-clock time.
+//   - TCP: hosts are sharded across OS processes; frames travel as
+//     length-prefixed gob over loopback or a real network, so N processes
+//     can jointly answer one WILDFIRE query (cmd/validityd).
+//
+// The Transport does not know the topology: neighbor-only communication
+// (§3.1 "messages travel only along edges of G") is enforced one layer up,
+// by sim.Context, before a message ever reaches Send.
+package transport
+
+import "validity/internal/graph"
+
+// Message is one protocol payload in flight between two hosts. Chain is
+// the causal depth of the message (1 + the depth of the message whose
+// processing triggered the send); carrying it on the wire keeps the §6.3
+// time-cost accounting exact across process boundaries.
+type Message struct {
+	From    graph.HostID
+	To      graph.HostID
+	Chain   int
+	Payload any
+}
+
+// RecvFunc is the delivery callback a bound host registers. It is invoked
+// from transport-owned goroutines; implementations must be safe for
+// concurrent calls and should hand the message off quickly (the node
+// runtime enqueues into a per-host inbox).
+type RecvFunc func(Message)
+
+// Transport moves Messages between hosts, possibly across processes.
+//
+// Lifecycle: Bind every locally-served host, then Open once to start
+// accepting traffic, then Send freely; Close tears everything down. Kill
+// switches one local host off mid-flight (§3.2): pending and future
+// deliveries to it are dropped, and the runtime stops accepting sends from
+// it. Kill of a non-local host is a no-op — a process can only switch off
+// its own peers; remote departures are observed as silence, exactly as in
+// the paper's model.
+type Transport interface {
+	// Bind registers h as locally served and routes its inbound messages
+	// to recv. Binding the same host twice, or a host the transport does
+	// not serve, is an error.
+	Bind(h graph.HostID, recv RecvFunc) error
+	// Open starts accepting traffic (listeners, background loops). Bind
+	// must not be called after Open.
+	Open() error
+	// Send delivers msg to its destination asynchronously. A returned
+	// error means the message is known lost (e.g. unreachable peer);
+	// silent drops at a dead destination are not errors.
+	Send(msg Message) error
+	// Kill switches local host h off: no further delivery to it, no
+	// further sends from it.
+	Kill(h graph.HostID)
+	// Alive reports whether local host h is bound and not killed.
+	// Non-local hosts report false.
+	Alive(h graph.HostID) bool
+	// Close releases all resources and stops delivery goroutines.
+	Close() error
+}

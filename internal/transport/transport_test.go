@@ -1,0 +1,296 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"validity/internal/agg"
+	"validity/internal/graph"
+)
+
+// sketchPayload exercises the gob path the protocols rely on: an interface
+// field whose concrete types are registered by internal/agg.
+type sketchPayload struct {
+	Round int
+	A     agg.Partial
+}
+
+func init() { gob.Register(sketchPayload{}) }
+
+// collector accumulates delivered messages.
+type collector struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+func (c *collector) recv(m Message) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collector) waitFor(t *testing.T, n int, timeout time.Duration) []Message {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		if len(c.msgs) >= n {
+			out := append([]Message(nil), c.msgs...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d messages (got %d)", n, c.count())
+	return nil
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	tr := NewChannel(2, 0)
+	defer tr.Close()
+	var c0, c1 collector
+	if err := tr.Bind(0, c0.recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Bind(1, c1.recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{From: 0, To: 1, Chain: 1, Payload: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	got := c1.waitFor(t, 1, time.Second)
+	if got[0].Payload != "ping" || got[0].Chain != 1 {
+		t.Fatalf("got %+v", got[0])
+	}
+	if err := tr.Send(Message{From: 1, To: 0, Chain: 2, Payload: "pong"}); err != nil {
+		t.Fatal(err)
+	}
+	c0.waitFor(t, 1, time.Second)
+}
+
+func TestChannelKillDropsDelivery(t *testing.T) {
+	tr := NewChannel(2, time.Millisecond)
+	defer tr.Close()
+	var c1 collector
+	if err := tr.Bind(1, c1.recv); err != nil {
+		t.Fatal(err)
+	}
+	tr.Kill(1)
+	if tr.Alive(1) {
+		t.Fatal("killed host reported alive")
+	}
+	if err := tr.Send(Message{From: 0, To: 1, Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := c1.count(); n != 0 {
+		t.Fatalf("killed host received %d messages", n)
+	}
+}
+
+func TestChannelDoubleBindFails(t *testing.T) {
+	tr := NewChannel(1, 0)
+	defer tr.Close()
+	if err := tr.Bind(0, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Bind(0, func(Message) {}); err == nil {
+		t.Fatal("double bind succeeded")
+	}
+}
+
+// freeAddrs reserves n distinct loopback addresses by briefly listening on
+// port 0 and releasing the listeners.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	ls := make([]net.Listener, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+	return addrs
+}
+
+// newTCPPair builds two TCP transports emulating two processes: transport
+// A serves host 0, transport B serves hosts 1 and 2 (the co-located pair
+// exercises the shared-listener path).
+func newTCPPair(t *testing.T) (a, b *TCP, ca, cb1, cb2 *collector) {
+	t.Helper()
+	ports := freeAddrs(t, 2)
+	addrs := []string{ports[0], ports[1], ports[1]}
+	a, b = NewTCP(addrs), NewTCP(addrs)
+	ca, cb1, cb2 = &collector{}, &collector{}, &collector{}
+	if err := a.Bind(0, ca.recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind(1, cb1.recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind(2, cb2.recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Open(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, ca, cb1, cb2
+}
+
+func TestTCPLoopbackRoundTrip(t *testing.T) {
+	a, b, ca, cb1, _ := newTCPPair(t)
+	// A → B carrying an FM count partial, B → A echoing it back: the
+	// partial must survive two gob trips intact.
+	rng := rand.New(rand.NewSource(1))
+	p := agg.NewPartial(agg.Count, 1, agg.Params{Vectors: 8, Bits: 32}, rng)
+	if err := a.Send(Message{From: 0, To: 1, Chain: 1, Payload: sketchPayload{Round: 7, A: p}}); err != nil {
+		t.Fatal(err)
+	}
+	got := cb1.waitFor(t, 1, 2*time.Second)
+	pl, ok := got[0].Payload.(sketchPayload)
+	if !ok {
+		t.Fatalf("payload decoded as %T", got[0].Payload)
+	}
+	if pl.Round != 7 || !pl.A.Equal(p) {
+		t.Fatalf("payload corrupted in transit: %+v", pl)
+	}
+	if got[0].From != 0 || got[0].To != 1 || got[0].Chain != 1 {
+		t.Fatalf("envelope corrupted: %+v", got[0])
+	}
+	if err := b.Send(Message{From: 1, To: 0, Chain: 2, Payload: pl}); err != nil {
+		t.Fatal(err)
+	}
+	back := ca.waitFor(t, 1, 2*time.Second)
+	if !back[0].Payload.(sketchPayload).A.Equal(p) {
+		t.Fatal("echoed partial corrupted")
+	}
+}
+
+func TestTCPLocalShortcut(t *testing.T) {
+	_, b, _, _, cb2 := newTCPPair(t)
+	// Host 1 and 2 share transport B: delivery must work without a socket.
+	if err := b.Send(Message{From: 1, To: 2, Payload: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cb2.waitFor(t, 1, time.Second); got[0].Payload != "hi" {
+		t.Fatalf("got %+v", got[0])
+	}
+}
+
+func TestTCPKillMidQuery(t *testing.T) {
+	a, b, ca, cb1, _ := newTCPPair(t)
+	if err := a.Send(Message{From: 0, To: 1, Payload: "before"}); err != nil {
+		t.Fatal(err)
+	}
+	cb1.waitFor(t, 1, 2*time.Second)
+
+	// Kill host 1 on its own process: in-flight and future frames to it
+	// must vanish, and its own sends must be swallowed (§3.2).
+	b.Kill(1)
+	if b.Alive(1) {
+		t.Fatal("killed host reported alive")
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Send(Message{From: 0, To: 1, Payload: fmt.Sprintf("after-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Send(Message{From: 1, To: 0, Payload: "dead-speech"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if n := cb1.count(); n != 1 {
+		t.Fatalf("killed host processed %d messages, want 1 (pre-kill only)", n)
+	}
+	if n := ca.count(); n != 0 {
+		t.Fatalf("killed host's send was delivered (%d messages at A)", n)
+	}
+	// The surviving co-located host keeps working.
+	if err := a.Send(Message{From: 0, To: 2, Payload: "alive"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSendUnboundHostDropsSilently(t *testing.T) {
+	a, _, _, _, _ := newTCPPair(t)
+	// Host 2's address is B; a frame for a host B never bound (here: a
+	// wrong ID mapped to B's address) must not wedge the stream. Send to a
+	// bound host afterwards still works.
+	if err := a.Send(Message{From: 0, To: 2, Payload: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPDialRetryToleratesLateListener(t *testing.T) {
+	ports := freeAddrs(t, 2)
+	addrs := []string{ports[0], ports[1]}
+	a := NewTCP(addrs)
+	if err := a.Bind(0, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var cb collector
+	b := NewTCP(addrs)
+	if err := b.Bind(1, cb.recv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Start sending before B listens; the lazy dial must retry until B's
+	// listener appears (validityd fleets start in arbitrary order).
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.Send(Message{From: 0, To: 1, Payload: "early"}) }()
+	time.Sleep(200 * time.Millisecond)
+	if err := b.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := <-errCh; err != nil {
+		t.Fatalf("send did not survive late listener: %v", err)
+	}
+	cb.waitFor(t, 1, 2*time.Second)
+}
+
+func TestGraphHostIDWireStability(t *testing.T) {
+	// HostID is int32; the wire must not silently truncate.
+	tr := NewChannel(1, 0)
+	defer tr.Close()
+	var c collector
+	if err := tr.Bind(0, c.recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{From: graph.HostID(0), To: 0, Payload: int64(1 << 40)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.waitFor(t, 1, time.Second); got[0].Payload.(int64) != 1<<40 {
+		t.Fatal("payload truncated")
+	}
+}
