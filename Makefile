@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci fmt demo
+.PHONY: all build vet test race ci fmt fmt-check demo bench
 
 all: ci
 
@@ -18,15 +18,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate: compile everything, vet, and run the full suite under
-# the race detector (the node runtime and transports are concurrent code;
-# plain `go test` would let scheduling bugs through).
-ci: build vet race
+# ci is the gate: compile everything, vet, enforce gofmt, and run the full
+# suite under the race detector (the node runtime and transports are
+# concurrent code; plain `go test` would let scheduling bugs through).
+ci: build vet fmt-check race
 
 fmt:
 	gofmt -l .
 
-# demo runs the multi-process WILDFIRE COUNT: two validityd workers plus
-# one querying process shard 60 hosts over TCP on loopback.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt required for:"; echo "$$out"; exit 1; \
+	fi
+
+# demo runs the multi-process WILDFIRE demo: two validityd workers plus
+# one querying process shard 60 hosts over TCP on loopback and answer a
+# concurrent stream of COUNT/MIN queries.
 demo: build
 	./scripts/demo-validityd.sh
+
+# bench measures engine throughput (queries/sec at a fixed fleet size) and
+# writes BENCH_engine.json — the start of the perf trajectory.
+bench:
+	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test ./internal/daemon -run TestBenchEngine -count=1 -v

@@ -1,24 +1,33 @@
 // Command validityd serves a shard of a dynamic network's hosts and
-// answers aggregate queries with Single-Site Validity — the paper's
-// protocols on real sockets instead of the simulator.
+// answers streams of aggregate queries with Single-Site Validity — the
+// paper's protocols on real sockets instead of the simulator, multiplexed
+// by the node engine so one long-running fleet answers many concurrent
+// queries without restarting.
 //
 // Every process is handed the same topology (generator + seed, or an
 // edge-list file) and the same host→address map, and serves a disjoint
-// host range. The process serving h_q issues a WILDFIRE query, waits out
-// the 2D̂δ deadline in wall clock, and reports the declared result next to
-// the oracle's q(H_C)/q(H_U) bounds.
+// host range. Workers serve indefinitely; the -query process issues
+// -queries N queries (up to -concurrency K in flight), each with its own
+// QueryID, protocol instance, query clock, and §6.3 cost accounting.
+// Query i's aggregate and querying host cycle through the comma-separated
+// -agg and -hq lists, so every process derives the identical spec from
+// the shared flags and lazily instantiates handlers on first contact with
+// a query's frames. Each result is reported next to the oracle's
+// q(H_C)/q(H_U) bounds, then a throughput summary closes the stream.
 //
-// A three-process COUNT over 60 hosts on loopback:
+// Eight overlapping COUNT/MIN queries over a three-process 60-host fleet
+// on loopback:
 //
 //	validityd -transport tcp -topology random -hosts 60 -seed 23 \
 //	    -peers "0-19=127.0.0.1:7101,20-39=127.0.0.1:7102,40-59=127.0.0.1:7103" \
-//	    -serve 20-39 &
+//	    -agg count,min -hq 0,7 -serve 20-39 &
 //	validityd -transport tcp ... -serve 40-59 &
-//	validityd -transport tcp ... -serve 0-19 -query -hq 0
+//	validityd -transport tcp ... -serve 0-19 -query -queries 8 -concurrency 2
 //
-// The same query fully in process (channel transport, no sockets):
+// The same stream fully in process (channel transport, no sockets):
 //
-//	validityd -transport chan -topology random -hosts 60 -seed 23 -query -hq 0
+//	validityd -transport chan -topology random -hosts 60 -seed 23 \
+//	    -agg count,min -hq 0,7 -query -queries 8 -concurrency 2
 package main
 
 import (

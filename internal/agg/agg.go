@@ -348,6 +348,24 @@ func PartialFromSketches(k Kind, sks []*fm.Sketch) (Partial, error) {
 	return nil, fmt.Errorf("agg: kind %v is not sketch-backed", k)
 }
 
+// KindOf reports the aggregate kind a partial was built for. The node
+// engine uses it to frame partials as wire envelopes when accounting
+// per-query bytes on the wire.
+func KindOf(p Partial) (Kind, bool) {
+	switch v := p.(type) {
+	case *scalarPartial:
+		return v.kind, true
+	case *countPartial:
+		return Count, true
+	case *sumPartial:
+		return Sum, true
+	case *avgPartial:
+		return Avg, true
+	default:
+		return 0, false
+	}
+}
+
 // Sketcher is implemented by sketch-backed partials; the oracle uses it
 // for sketch-level validity checks.
 type Sketcher interface {

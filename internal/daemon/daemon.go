@@ -1,18 +1,26 @@
 // Package daemon is the engine behind cmd/validityd: it turns a topology,
-// a shard assignment, and a transport choice into a running set of hosts
-// answering one WILDFIRE aggregate query with Single-Site Validity
+// a shard assignment, and a transport choice into a long-running fleet of
+// hosts answering WILDFIRE aggregate queries with Single-Site Validity
 // reporting against the oracle.
 //
 // Every participating process is given the same topology (a generator
 // kind + seed, or an edge-list file) and the same host→address map, and
-// serves a disjoint subset of hosts. The process serving h_q issues the
-// query, waits out the 2D̂δ deadline in wall-clock time, and prints the
-// declared result next to the oracle's q(H_C) / q(H_U) bounds. With
-// -transport chan the same binary answers the query fully in process —
-// the zero-config smoke test of the exact code path the fleet runs.
+// serves a disjoint subset of hosts. Worker processes serve indefinitely;
+// the process given -query issues a stream of queries (-queries N, up to
+// -concurrency K in flight) over the same fleet without any restarts.
+// Query i's spec — aggregate kind and querying host, cycled from the
+// comma-separated -agg and -hq lists — is derived from the query id and
+// the shared flags alone, so every process lazily instantiates an
+// identical protocol instance on first contact with a query's frames.
+// Each query's declared result is printed next to the oracle's
+// q(H_C) / q(H_U) bounds along with its own §6.3 cost counters (messages,
+// bytes on the wire, computation, time), and a throughput summary closes
+// the stream. With -transport chan the same binary answers the queries
+// fully in process — the zero-config smoke test of the exact code path
+// the fleet runs.
 //
 // The logic lives in this package (rather than in cmd/validityd's main)
-// so the multi-process end-to-end test can re-exec the test binary as a
+// so the multi-process end-to-end tests can re-exec the test binary as a
 // fleet of real OS processes without building the daemon first.
 package daemon
 
@@ -25,6 +33,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"validity/internal/agg"
@@ -60,12 +69,19 @@ type Config struct {
 	// (tcp only; chan serves everything).
 	Serve string
 
-	// Query makes this process issue the aggregate query at Hq (which
-	// must be served here) and print the result; other processes just
-	// serve their hosts for RunFor.
+	// Query makes this process issue the query stream; other processes
+	// serve their hosts (indefinitely, unless RunFor bounds them).
 	Query bool
-	Hq    int
-	Agg   string
+	// Hq is a comma-separated list of querying hosts; query i uses entry
+	// i mod len. Every listed host must be served by the -query process.
+	Hq string
+	// Agg is a comma-separated list of aggregates; query i uses entry
+	// i mod len.
+	Agg string
+	// Queries is the number of queries the -query process issues.
+	Queries int
+	// Concurrency bounds how many queries are in flight at once.
+	Concurrency int
 	// DHat is the stable-diameter overestimate D̂; 0 derives diameter+2
 	// from the topology.
 	DHat    int
@@ -73,13 +89,14 @@ type Config struct {
 	// Hop is the wall-clock realization of the per-hop bound δ.
 	Hop time.Duration
 
-	// Kill schedules departures, "host@tick,host@tick". Entries for hosts
-	// served here are executed; all entries feed the oracle's churn
-	// schedule, so every process can be handed the same flag.
+	// Kill schedules departures, "host@tick,host@tick", ticks on the
+	// engine clock. Entries for hosts served here are executed; all
+	// entries feed the oracle's churn schedule, so every process can be
+	// handed the same flag. Only meaningful with a single query (the
+	// oracle's churn schedule is relative to that query's clock).
 	Kill string
 
-	// RunFor bounds a non-query process's lifetime (0 = derived from the
-	// query deadline with generous slack).
+	// RunFor bounds a non-query process's lifetime (0 = serve forever).
 	RunFor time.Duration
 
 	// Out receives the report lines (defaults to os.Stdout).
@@ -97,14 +114,16 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.StringVar(&cfg.Transport, "transport", "chan", "chan (in-process) | tcp (sharded fleet)")
 	fs.StringVar(&cfg.Peers, "peers", "", "host→address map, e.g. 0-19=127.0.0.1:7001,20-39=127.0.0.1:7002")
 	fs.StringVar(&cfg.Serve, "serve", "", "hosts this process serves, e.g. 20-39")
-	fs.BoolVar(&cfg.Query, "query", false, "issue the query at -hq and report the result")
-	fs.IntVar(&cfg.Hq, "hq", 0, "querying host h_q")
-	fs.StringVar(&cfg.Agg, "agg", "count", "min | max | count | sum | avg")
+	fs.BoolVar(&cfg.Query, "query", false, "issue the query stream and report results")
+	fs.StringVar(&cfg.Hq, "hq", "0", "querying host(s), comma-separated; query i uses entry i mod len")
+	fs.StringVar(&cfg.Agg, "agg", "count", "aggregate(s) min|max|count|sum|avg, comma-separated; query i uses entry i mod len")
+	fs.IntVar(&cfg.Queries, "queries", 1, "number of queries to issue (query process only)")
+	fs.IntVar(&cfg.Concurrency, "concurrency", 1, "maximum queries in flight at once")
 	fs.IntVar(&cfg.DHat, "dhat", 0, "stable-diameter overestimate D̂ (0 = diameter+2)")
 	fs.IntVar(&cfg.Vectors, "c", 64, "FM sketch repetitions for count/sum/avg")
 	fs.DurationVar(&cfg.Hop, "hop", 5*time.Millisecond, "wall-clock per-hop delay bound δ")
 	fs.StringVar(&cfg.Kill, "kill", "", "departure schedule host@tick,host@tick (§3.2)")
-	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = auto)")
+	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = forever)")
 	return cfg
 }
 
@@ -116,6 +135,45 @@ func ParseArgs(name string, args []string) (*Config, error) {
 		return nil, err
 	}
 	return cfg, nil
+}
+
+// validate rejects flag combinations that would otherwise be silently
+// ignored.
+func validate(cfg *Config) error {
+	switch cfg.Transport {
+	case "chan":
+		if cfg.Peers != "" || cfg.Serve != "" {
+			return fmt.Errorf("daemon: -peers/-serve apply only to -transport tcp (chan serves every host in process)")
+		}
+	case "tcp":
+		if cfg.Peers == "" || cfg.Serve == "" {
+			return fmt.Errorf("daemon: -transport tcp needs -peers and -serve")
+		}
+	default:
+		return fmt.Errorf("daemon: unknown transport %q", cfg.Transport)
+	}
+	if cfg.Query && cfg.RunFor != 0 {
+		return fmt.Errorf("daemon: -run-for applies only to worker processes; the -query process exits after its query stream")
+	}
+	if !cfg.Query && (cfg.Queries != 1 || cfg.Concurrency != 1) {
+		return fmt.Errorf("daemon: -queries/-concurrency apply only to the -query process")
+	}
+	if cfg.Queries < 1 {
+		return fmt.Errorf("daemon: -queries must be ≥ 1, got %d", cfg.Queries)
+	}
+	if cfg.Concurrency < 1 {
+		return fmt.Errorf("daemon: -concurrency must be ≥ 1, got %d", cfg.Concurrency)
+	}
+	if cfg.Kill != "" && cfg.Queries > 1 {
+		return fmt.Errorf("daemon: -kill is only supported with a single query; the oracle's churn schedule is relative to one query clock")
+	}
+	if cfg.Vectors < 1 || cfg.Vectors > 255 {
+		// The canonical wire format carries the repetition count in one
+		// byte; beyond it the per-query bytes accounting could not cover
+		// the traffic.
+		return fmt.Errorf("daemon: -c must be in [1,255], got %d", cfg.Vectors)
+	}
+	return nil
 }
 
 // parseHostSet parses "0-19,25,40-44" into a sorted host list.
@@ -153,6 +211,50 @@ func parseHostSet(spec string, n int) ([]graph.HostID, error) {
 		return nil, fmt.Errorf("daemon: empty host set %q", spec)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// parseHqList parses the -hq list, preserving order (query i uses entry
+// i mod len, so order is part of the spec every process must share).
+func parseHqList(spec string, n int) ([]graph.HostID, error) {
+	var out []graph.HostID
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		h, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: -hq entry %q: %w", part, err)
+		}
+		if h < 0 || h >= n {
+			return nil, fmt.Errorf("daemon: h_q %d outside graph of %d hosts", h, n)
+		}
+		out = append(out, graph.HostID(h))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("daemon: empty -hq list %q", spec)
+	}
+	return out, nil
+}
+
+// parseAggList parses the -agg list, preserving order.
+func parseAggList(spec string) ([]agg.Kind, error) {
+	var out []agg.Kind
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := agg.ParseKind(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("daemon: empty -agg list %q", spec)
+	}
 	return out, nil
 }
 
@@ -251,11 +353,15 @@ func buildGraph(cfg *Config) (*graph.Graph, error) {
 	return topology.Generate(kind, cfg.Hosts, cfg.Seed), nil
 }
 
-// Run executes one validityd process to completion.
+// Run executes one validityd process: workers serve until RunFor (or
+// forever), the query process drives its stream to completion.
 func Run(cfg *Config) error {
 	out := cfg.Out
 	if out == nil {
 		out = os.Stdout
+	}
+	if err := validate(cfg); err != nil {
+		return err
 	}
 	g, err := buildGraph(cfg)
 	if err != nil {
@@ -263,16 +369,17 @@ func Run(cfg *Config) error {
 	}
 	n := g.Len()
 	values := zipfval.Default(cfg.Seed).Values(n)
-	kind, err := agg.ParseKind(cfg.Agg)
+	aggs, err := parseAggList(cfg.Agg)
+	if err != nil {
+		return err
+	}
+	hqs, err := parseHqList(cfg.Hq, n)
 	if err != nil {
 		return err
 	}
 	dHat := cfg.DHat
 	if dHat == 0 {
 		dHat = g.Diameter(nil) + 2
-	}
-	if cfg.Hq < 0 || cfg.Hq >= n {
-		return fmt.Errorf("daemon: h_q %d outside graph of %d hosts", cfg.Hq, n)
 	}
 	kills, err := parseKills(cfg.Kill, n)
 	if err != nil {
@@ -289,9 +396,6 @@ func Run(cfg *Config) error {
 		// bound that node.NewLiveNetwork documents.
 		tr = transport.NewChannel(n, cfg.Hop/2)
 	case "tcp":
-		if cfg.Peers == "" || cfg.Serve == "" {
-			return fmt.Errorf("daemon: -transport tcp needs -peers and -serve")
-		}
 		addrs, err := parsePeers(cfg.Peers, n)
 		if err != nil {
 			return err
@@ -300,8 +404,6 @@ func Run(cfg *Config) error {
 			return err
 		}
 		tr = transport.NewTCP(addrs)
-	default:
-		return fmt.Errorf("daemon: unknown transport %q", cfg.Transport)
 	}
 
 	rt, err := node.New(node.Config{
@@ -314,26 +416,37 @@ func Run(cfg *Config) error {
 	if err != nil {
 		return err
 	}
-	if cfg.Query && !rt.Local(graph.HostID(cfg.Hq)) {
-		return fmt.Errorf("daemon: -query requires h_q %d in -serve", cfg.Hq)
+	if cfg.Query {
+		for _, hq := range hqs {
+			if !rt.Local(hq) {
+				return fmt.Errorf("daemon: -query requires every -hq host in -serve; %d is not", hq)
+			}
+		}
 	}
 
-	q := protocol.Query{
-		Kind:   kind,
-		Hq:     graph.HostID(cfg.Hq),
-		DHat:   dHat,
-		Params: agg.Params{Vectors: cfg.Vectors, Bits: 32},
+	// specFor derives query id's spec from the shared flags alone, so
+	// every process of the fleet — issuer and workers alike — builds the
+	// identical protocol instance for a query the moment its first frame
+	// arrives.
+	specFor := func(id node.QueryID) protocol.Query {
+		i := int(id-1) % len(aggs)
+		j := int(id-1) % len(hqs)
+		return protocol.Query{
+			Kind:   aggs[i],
+			Hq:     hqs[j],
+			DHat:   dHat,
+			Params: agg.Params{Vectors: cfg.Vectors, Bits: 32},
+		}
 	}
-	wf := protocol.NewWildfire(q)
-	if err := node.Install(rt, wf, cfg.Seed); err != nil {
-		return err
-	}
+	rt.SetQueryFactory(func(id node.QueryID) (*node.QueryInstance, error) {
+		return node.BuildInstance(rt, protocol.NewWildfire(specFor(id)), node.QuerySeed(cfg.Seed, id))
+	})
 	if err := rt.Start(); err != nil {
 		return err
 	}
 	defer rt.Stop()
 
-	// Departures: local entries are executed at their tick on the query
+	// Departures: local entries are executed at their tick on the engine
 	// clock; all entries inform the oracle, so every process of a fleet
 	// can be handed the identical -kill flag.
 	var sched churn.Schedule
@@ -342,34 +455,101 @@ func Run(cfg *Config) error {
 		rt.KillAt(k.h, k.t)
 	}
 
-	deadline := time.Duration(2*dHat)*cfg.Hop + 10*cfg.Hop + 100*time.Millisecond
 	if !cfg.Query {
-		runFor := cfg.RunFor
-		if runFor == 0 {
-			runFor = 4*deadline + 2*time.Second
+		lifetime := "indefinitely"
+		if cfg.RunFor > 0 {
+			lifetime = "for " + cfg.RunFor.String()
 		}
-		fmt.Fprintf(out, "validityd: serving %d/%d hosts over %s for %v\n",
-			len(localOrAll(local, n)), n, cfg.Transport, runFor)
-		time.Sleep(runFor)
+		fmt.Fprintf(out, "validityd: serving %d/%d hosts over %s %s\n",
+			len(localOrAll(local, n)), n, cfg.Transport, lifetime)
+		if cfg.RunFor > 0 {
+			time.Sleep(cfg.RunFor)
+		} else {
+			select {} // serve until killed
+		}
 		return nil
 	}
 
-	fmt.Fprintf(out, "validityd: %s(%s) at h_q=%d over %d hosts, D̂=%d, δ=%v, transport=%s\n",
-		"wildfire", kind, cfg.Hq, n, dHat, cfg.Hop, cfg.Transport)
-	time.Sleep(deadline)
-	rt.Stop() // quiesce every local host before reading protocol state
-	v, ok := wf.Result()
-	if !ok {
-		return fmt.Errorf("daemon: wildfire declared no result at h_q")
-	}
+	fmt.Fprintf(out, "validityd: wildfire over %d hosts, D̂=%d, δ=%v, transport=%s: %d queries, concurrency %d, agg=%s, hq=%s\n",
+		n, dHat, cfg.Hop, cfg.Transport, cfg.Queries, cfg.Concurrency, cfg.Agg, cfg.Hq)
+	return runQueryStream(cfg, rt, g, values, sched, specFor, out)
+}
 
-	b := oracle.Compute(g, values, q.Hq, sched, q.Deadline(), kind)
-	slack := fmSlack(kind, cfg.Vectors)
-	st := rt.Stats()
-	fmt.Fprintf(out,
-		"validityd: result=%.2f lower=%.2f upper=%.2f slack=%.2f valid=%t msgs=%d maxproc=%d timecost=%d\n",
-		v, b.LowerValue, b.UpperValue, slack, b.ValidFactor(v, slack),
-		st.MessagesSent, st.MaxComputation(), st.TimeCost)
+// runQueryStream issues cfg.Queries queries over the running engine, up to
+// cfg.Concurrency in flight, printing each result against its own oracle
+// bounds and a closing throughput summary.
+func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int64,
+	sched churn.Schedule, specFor func(node.QueryID) protocol.Query, out io.Writer) error {
+
+	var (
+		mu         sync.Mutex // serializes result lines and totals
+		firstErr   error
+		valid      int
+		totalMsgs  int64
+		totalBytes int64
+		wg         sync.WaitGroup
+	)
+	sem := make(chan struct{}, cfg.Concurrency)
+	start := time.Now()
+	for i := 1; i <= cfg.Queries; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(id node.QueryID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			spec := specFor(id)
+			// One query's wall-clock budget: the 2D̂δ protocol deadline
+			// plus slack for scheduler noise and the last hop's flush.
+			deadline := time.Duration(2*spec.DHat)*cfg.Hop + 10*cfg.Hop + 100*time.Millisecond
+			if _, err := rt.StartQuery(id); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			time.Sleep(deadline)
+			v, ok, err := rt.QueryResult(id, spec.Hq)
+			if err == nil && !ok {
+				err = fmt.Errorf("daemon: query %d declared no result at h_q=%d", id, spec.Hq)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			b := oracle.Compute(g, values, spec.Hq, sched, spec.Deadline(), spec.Kind)
+			slack := fmSlack(spec.Kind, cfg.Vectors)
+			st, _ := rt.QueryStats(id)
+			ok = b.ValidFactor(v, slack)
+			mu.Lock()
+			if ok {
+				valid++
+			}
+			totalMsgs += st.MessagesSent
+			totalBytes += st.BytesOnWire
+			fmt.Fprintf(out,
+				"validityd: q=%d agg=%s hq=%d result=%.2f lower=%.2f upper=%.2f slack=%.2f valid=%t msgs=%d bytes=%d maxproc=%d timecost=%d\n",
+				id, spec.Kind, spec.Hq, v, b.LowerValue, b.UpperValue, slack, ok,
+				st.MessagesSent, st.BytesOnWire, st.MaxComputation(), st.TimeCost)
+			mu.Unlock()
+		}(node.QueryID(i))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+	fmt.Fprintf(out, "validityd: served %d queries (%d valid) in %v (%.2f queries/sec) msgs=%d bytes=%d\n",
+		cfg.Queries, valid, elapsed.Round(time.Millisecond),
+		float64(cfg.Queries)/elapsed.Seconds(), totalMsgs, totalBytes)
+	if valid != cfg.Queries {
+		return fmt.Errorf("daemon: %d of %d queries judged invalid", cfg.Queries-valid, cfg.Queries)
+	}
 	return nil
 }
 

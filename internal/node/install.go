@@ -8,8 +8,8 @@ import (
 	"validity/internal/sim"
 )
 
-// Install materializes p's per-host handlers and moves the local ones onto
-// rt, each wrapped with an independent per-host RNG derived from seed.
+// materializeHandlers builds p's per-host handlers, wrapping each local
+// one with an independent per-host RNG derived from seed.
 //
 // Protocols build their handlers in Install(*sim.Network), so a scratch
 // event-loop network over the same graph is used purely as a handler
@@ -17,18 +17,35 @@ import (
 // (seed, host), so a fleet of processes sharding one topology builds
 // identical sketch coin-tosses for any given host no matter which process
 // serves it, which keeps multi-process results reproducible.
-func Install(rt *Runtime, p protocol.Protocol, seed int64) error {
+func materializeHandlers(rt *Runtime, p protocol.Protocol, seed int64) ([]sim.Handler, error) {
 	scratch := sim.NewNetwork(sim.Config{Graph: rt.Graph(), Seed: seed})
 	if err := p.Install(scratch); err != nil {
-		return err
+		return nil, err
 	}
-	for h := 0; h < rt.Graph().Len(); h++ {
+	hs := make([]sim.Handler, rt.Graph().Len())
+	for h := range hs {
 		id := graph.HostID(h)
 		if !rt.Local(id) {
 			continue
 		}
 		rng := rand.New(rand.NewSource(seed ^ (int64(h)+1)*0x5851F42D4C957F2D))
-		rt.SetHandler(id, WithRand(scratch.Handler(id), rng))
+		hs[h] = WithRand(scratch.Handler(id), rng)
+	}
+	return hs, nil
+}
+
+// Install materializes p's per-host handlers and moves the local ones onto
+// rt's default query — the single-query face over the engine (multi-query
+// callers register a QueryFactory built on BuildInstance instead).
+func Install(rt *Runtime, p protocol.Protocol, seed int64) error {
+	hs, err := materializeHandlers(rt, p, seed)
+	if err != nil {
+		return err
+	}
+	for h, hd := range hs {
+		if hd != nil {
+			rt.SetHandler(graph.HostID(h), hd)
+		}
 	}
 	return nil
 }

@@ -11,10 +11,12 @@ import (
 // LiveNetwork runs every host of a topology in the calling process — one
 // goroutine per host, messages over the in-process channel transport, the
 // per-hop delay bound δ realized as `hop` of wall-clock time. It is the
-// single-process convenience face of the Runtime and keeps the API the
-// examples have always used (it previously lived in internal/sim; it moved
-// here when the runtime grew pluggable transports, because sim cannot
-// import node without a cycle).
+// single-process, single-query convenience face over the engine: handlers
+// installed here live on the runtime's default query, so the API the
+// examples have always used keeps working unchanged on top of the
+// multi-query Runtime (it previously lived in internal/sim; it moved here
+// when the runtime grew pluggable transports, because sim cannot import
+// node without a cycle).
 type LiveNetwork struct {
 	rt *Runtime
 }

@@ -1,0 +1,395 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"validity/internal/graph"
+	"validity/internal/protocol"
+	"validity/internal/sim"
+	"validity/internal/transport"
+	"validity/internal/wire"
+)
+
+// QueryInstance is one query's materialized protocol state on this
+// process: the protocol object (for result reading at the issuing
+// process), the per-host handlers, and the query's deadline in ticks.
+type QueryInstance struct {
+	// Protocol is the installed protocol; nil for handler-only instances.
+	Protocol protocol.Protocol
+	// Handlers[h] is host h's state machine (nil for non-local hosts).
+	Handlers []sim.Handler
+	// Deadline is the query's termination time 2·D̂ in δ ticks; the engine
+	// retires the query's state well after it has passed.
+	Deadline sim.Time
+}
+
+// QueryFactory builds the local protocol instance for a query on first
+// contact. Every process of a fleet must register a factory that derives
+// an identical query spec from the id alone (shared flags + seed), so a
+// frame arriving for a not-yet-seen query can be answered without any
+// registration handshake.
+type QueryFactory func(id QueryID) (*QueryInstance, error)
+
+// SetQueryFactory registers the factory used to lazily instantiate
+// queries. It must be set before traffic arrives (i.e. before Start).
+func (rt *Runtime) SetQueryFactory(f QueryFactory) {
+	rt.mu.Lock()
+	rt.factory = f
+	rt.mu.Unlock()
+}
+
+// QuerySeed derives the per-query RNG seed from the fleet's shared seed.
+// It depends only on (shared, id), so every process builds identical FM
+// coin tosses for a host regardless of which process serves it.
+func QuerySeed(shared int64, id QueryID) int64 {
+	return shared ^ (int64(id)+1)*0x2545F4914F6CDD1D
+}
+
+// BuildInstance materializes p's per-host handlers for rt's local hosts,
+// each wrapped with an independent per-host RNG derived from seed — the
+// standard QueryFactory body. Protocols build their handlers in
+// Install(*sim.Network), so a scratch event-loop network over the same
+// graph is used purely as a handler factory; it is never run.
+func BuildInstance(rt *Runtime, p protocol.Protocol, seed int64) (*QueryInstance, error) {
+	hs, err := materializeHandlers(rt, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryInstance{Protocol: p, Handlers: hs, Deadline: p.Deadline()}, nil
+}
+
+// StartQuery instantiates query id locally via the registered factory and
+// invokes Start on every local host's handler — the issuing side of the
+// engine. Remote processes need no call: their instances materialize on
+// first contact with the query's frames.
+func (rt *Runtime) StartQuery(id QueryID) (*QueryInstance, error) {
+	if id <= DefaultQuery {
+		return nil, fmt.Errorf("node: query ids must be ≥ 1 (%d is reserved for the single-query face)", DefaultQuery)
+	}
+	qs, created, err := rt.queryForErr(id, true)
+	if err != nil {
+		return nil, err
+	}
+	if qs == nil {
+		return nil, fmt.Errorf("node: no query factory registered")
+	}
+	if !created {
+		return nil, fmt.Errorf("node: query %d already instantiated", id)
+	}
+	for _, h := range rt.localHosts {
+		rt.enqueue(h, item{kind: itemStart, qs: qs})
+	}
+	return qs.inst.Load(), nil
+}
+
+// QueryResult reads query id's declared result at host h, executing the
+// read on h's goroutine so it cannot race in-flight handler callbacks.
+func (rt *Runtime) QueryResult(id QueryID, h graph.HostID) (float64, bool, error) {
+	qs := rt.lookupQuery(id)
+	if qs == nil {
+		return 0, false, fmt.Errorf("node: query %d has no protocol instance here", id)
+	}
+	inst := qs.inst.Load()
+	if inst == nil || inst.Protocol == nil {
+		return 0, false, fmt.Errorf("node: query %d has no protocol instance here (retired?)", id)
+	}
+	var v float64
+	var ok bool
+	if err := rt.Do(h, func() { v, ok = inst.Protocol.Result() }); err != nil {
+		return 0, false, err
+	}
+	return v, ok, nil
+}
+
+// queryEntry is the demux map's slot for one QueryID. The factory runs
+// inside the entry's once, outside rt.mu: materializing handlers for a
+// 10K-host query takes real time, and holding the runtime lock for it
+// would stall every host callback and transport delivery in the process.
+// Concurrent first contacts for the same id block on the once instead.
+type queryEntry struct {
+	once sync.Once
+	qs   *queryState // nil while the factory is still running
+	err  error       // non-nil if the factory failed (qs is a tombstone)
+}
+
+// queryFor resolves id to its local state, lazily instantiating it via the
+// factory when create is set. Factory failures leave a retired tombstone
+// so the factory runs at most once per id.
+func (rt *Runtime) queryFor(id QueryID, create bool) *queryState {
+	qs, _, _ := rt.queryForErr(id, create)
+	return qs
+}
+
+// lookupQuery returns id's state without instantiating anything (nil while
+// unknown or still materializing).
+func (rt *Runtime) lookupQuery(id QueryID) *queryState {
+	rt.mu.Lock()
+	e := rt.queries[id]
+	rt.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	return e.qs
+}
+
+func (rt *Runtime) queryForErr(id QueryID, create bool) (*queryState, bool, error) {
+	if id < DefaultQuery {
+		// QueryID is read off the network: a corrupt or hostile frame must
+		// not reach the factory (whose spec derivation assumes ids ≥ 1).
+		return nil, false, nil
+	}
+	rt.mu.Lock()
+	e, ok := rt.queries[id]
+	f := rt.factory // the once body may run on any contender's goroutine
+	if !ok {
+		if !create || f == nil {
+			rt.mu.Unlock()
+			return nil, false, nil
+		}
+		e = &queryEntry{}
+		rt.queries[id] = e
+	}
+	rt.mu.Unlock()
+
+	created := false
+	e.once.Do(func() {
+		created = true
+		inst, err := f(id)
+		var qs *queryState
+		if err != nil || inst == nil {
+			if err == nil {
+				err = fmt.Errorf("node: factory returned no instance for query %d", id)
+			}
+			qs = newQueryState(rt, id, nil, 0)
+			qs.retired.Store(true) // tombstone: the factory runs once per id
+			e.err = fmt.Errorf("node: instantiating query %d: %w", id, err)
+		} else {
+			qs = newQueryState(rt, id, inst, inst.Deadline)
+		}
+		// Publish under rt.mu: lookupQuery/Stats read e.qs without going
+		// through the once.
+		rt.mu.Lock()
+		e.qs = qs
+		rt.mu.Unlock()
+		if e.err == nil {
+			rt.scheduleRetire(qs)
+		}
+	})
+	if e.err != nil {
+		return nil, created, e.err
+	}
+	return e.qs, created, nil
+}
+
+// retire marks qs dead to the dispatcher, drops the protocol instance —
+// which pins every host's protocol state, so results must be read before
+// the deadline-plus-grace window closes — and hands each host goroutine
+// the job of dropping its own handler reference, so nothing is freed
+// while an in-flight callback could still touch it. Stats counters
+// survive retirement.
+func (rt *Runtime) retire(qs *queryState) {
+	if qs.id == DefaultQuery {
+		return
+	}
+	qs.retired.Store(true)
+	qs.inst.Store(nil)
+	for _, h := range rt.localHosts {
+		rt.dispatch(h, item{kind: itemRetire, qs: qs})
+	}
+}
+
+// retireGrace is wall-clock slack past twice the query deadline before
+// state is retired: late frames within it still count as (dropped)
+// traffic, after it they are indistinguishable from a new query's id being
+// recycled, which the engine does not allow.
+const retireGrace = 2 * time.Second
+
+// queryState is the engine's per-query bookkeeping: handlers, clock, and
+// §6.3 counters.
+type queryState struct {
+	id QueryID
+	// inst pins the protocol object (and through it every host's state)
+	// until retirement clears it, after which results are no longer
+	// readable and the GC can reclaim the query's protocol state.
+	inst     atomic.Pointer[QueryInstance]
+	handlers []sim.Handler
+	be       *queryBackend
+	deadline sim.Time
+
+	// The query clock arms at the query's first send or delivery in this
+	// process, not at instantiation: shards see a query at different wall
+	// times, and the protocols' tick guards measure time since the query
+	// reached them. A host at distance l from h_q therefore reads a clock
+	// late by at most l·δ — the same skew any real deployment of the §3.1
+	// model lives with. Monotonic (time.Time anchor), per query: a query
+	// starting late must not inherit an earlier query's elapsed ticks.
+	clockOnce  sync.Once
+	clockStart atomic.Pointer[time.Time]
+
+	// started[h] records that host h's handler has run Start for this
+	// query. It is read and written only from h's own goroutine (Start,
+	// Receive and Timer of a host all serialize through its inbox), so no
+	// synchronization is needed.
+	started []bool
+
+	retired   atomic.Bool
+	sent      atomic.Int64
+	bytes     atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	processed []int64 // updated with atomics
+	timeCost  atomic.Int64
+}
+
+func newQueryState(rt *Runtime, id QueryID, inst *QueryInstance, deadline sim.Time) *queryState {
+	n := rt.g.Len()
+	qs := &queryState{
+		id:        id,
+		handlers:  make([]sim.Handler, n),
+		deadline:  deadline,
+		started:   make([]bool, n),
+		processed: make([]int64, n),
+	}
+	if inst != nil {
+		qs.inst.Store(inst)
+		for _, h := range rt.localHosts {
+			if int(h) < len(inst.Handlers) {
+				qs.handlers[h] = inst.Handlers[h]
+			}
+		}
+	}
+	qs.be = &queryBackend{rt: rt, qs: qs}
+	return qs
+}
+
+// startHost runs hd.Start exactly once for host h; must be called from
+// h's goroutine (hostLoop).
+func (qs *queryState) startHost(rt *Runtime, h graph.HostID, hd sim.Handler) {
+	if qs.started[h] {
+		return
+	}
+	qs.started[h] = true
+	hd.Start(sim.BackendContext(qs.be, h, 0))
+}
+
+// armClock starts the query clock if it is not yet running, and arms the
+// engine clock alongside it.
+func (qs *queryState) armClock(rt *Runtime) {
+	qs.clockOnce.Do(func() {
+		t := time.Now()
+		qs.clockStart.Store(&t)
+	})
+	rt.armEngineClock()
+}
+
+func (qs *queryState) observeChain(chain int) {
+	for {
+		cur := qs.timeCost.Load()
+		if int64(chain) <= cur || qs.timeCost.CompareAndSwap(cur, int64(chain)) {
+			return
+		}
+	}
+}
+
+func (qs *queryState) snapshot() Stats {
+	s := Stats{
+		MessagesSent:      qs.sent.Load(),
+		BytesOnWire:       qs.bytes.Load(),
+		MessagesDelivered: qs.delivered.Load(),
+		MessagesDropped:   qs.dropped.Load(),
+		PerHostProcessed:  make([]int64, len(qs.processed)),
+		TimeCost:          int(qs.timeCost.Load()),
+	}
+	for h := range qs.processed {
+		s.PerHostProcessed[h] = atomic.LoadInt64(&qs.processed[h])
+	}
+	return s
+}
+
+// --- sim.Backend, one per query ------------------------------------------
+
+// queryBackend implements sim.Backend for one query on one runtime: its
+// Now is the query clock, its Send stamps frames with the QueryID and
+// feeds the query's cost counters, and its SetTimer goes through the
+// runtime's shared timer heap.
+type queryBackend struct {
+	rt *Runtime
+	qs *queryState
+}
+
+// Now implements sim.Backend: wall time since this query's clock armed, in
+// δ hop units; zero until the query has seen any traffic here.
+func (b *queryBackend) Now() sim.Time {
+	start := b.qs.clockStart.Load()
+	if start == nil || b.rt.hop <= 0 {
+		return 0
+	}
+	return sim.Time(time.Since(*start) / b.rt.hop)
+}
+
+// Value implements sim.Backend.
+func (b *queryBackend) Value(h graph.HostID) int64 { return b.rt.values[h] }
+
+// Graph implements sim.Backend.
+func (b *queryBackend) Graph() *graph.Graph { return b.rt.g }
+
+// Send implements sim.Backend: the message goes to the transport stamped
+// with the query id, and is delivered if the destination is alive at
+// arrival.
+func (b *queryBackend) Send(from, to graph.HostID, payload any, chain int) {
+	rt, qs := b.rt, b.qs
+	if !rt.aliveHost(from) {
+		return // a departed host says nothing more
+	}
+	qs.armClock(rt)
+	qs.sent.Add(1)
+	qs.bytes.Add(int64(payloadWireSize(payload)))
+	err := rt.tr.Send(transport.Message{From: from, To: to, Query: qs.id, Chain: chain, Payload: payload})
+	if err != nil {
+		qs.dropped.Add(1)
+	}
+}
+
+// SetTimer implements sim.Backend: the tick delta becomes an entry on the
+// runtime's timer heap whose firing is serialized through the host's inbox
+// like any other callback.
+//
+// A timer for the current tick means "end of this round": the event loop
+// fires it after all of the tick's deliveries (evDeliver orders before
+// evTimer), which is how WILDFIRE batches a round's arrivals into one
+// flush (Example 5.1). The live realization is a quarter-hop delay — long
+// enough to gather the messages of the same causal round, short enough
+// that receive (≤ δ/2 on the channel transport) plus flush stays within
+// the advertised per-hop bound δ.
+func (b *queryBackend) SetTimer(h graph.HostID, at sim.Time, tag, chain int) {
+	delay := time.Duration(at-b.Now()) * b.rt.hop
+	if delay <= 0 {
+		delay = b.rt.hop / 4
+	}
+	b.rt.scheduleEntry(&timerEntry{
+		when:  time.Now().Add(delay),
+		kind:  tkTimer,
+		h:     h,
+		qs:    b.qs,
+		tag:   tag,
+		chain: chain,
+	})
+}
+
+// payloadWireSize is the canonical on-wire cost of a payload: the
+// internal/wire envelope size where a mapping exists, zero otherwise
+// (control messages outside the wire format).
+func payloadWireSize(payload any) int {
+	env, ok := protocol.WireEnvelope(payload)
+	if !ok {
+		return 0
+	}
+	n, err := wire.SizeOf(env)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -5,20 +5,36 @@
 // reproduction into a deployable system: the same WILDFIRE handler that
 // runs under the deterministic event loop for the figures runs here over
 // in-process channels for the examples, or over TCP sockets for a fleet
-// of validityd processes jointly answering one query (cmd/validityd).
+// of validityd processes jointly answering queries (cmd/validityd).
+//
+// The runtime is a query engine: one long-running fleet multiplexes many
+// concurrent queries. Every transport frame carries a QueryID, and each
+// process demultiplexes frames to per-query protocol instances — lazily
+// built on first contact from a registered QueryFactory, seeded per
+// (query, host) so a sharded fleet builds identical FM coin tosses for a
+// host no matter which process serves it. Each query gets its own
+// monotonic clock (armed at that query's first traffic in this process)
+// and its own §6.3 cost accounting, so per-answer validity deadlines stay
+// individually checkable while the fleet amortizes its infrastructure
+// across queries. Query state is retired after the deadline has safely
+// passed.
 //
 // The mapping to the paper's model (§3.1–3.2): each peer is a host of G,
 // Kill is an end-user switching the application off mid-query, and the
 // per-hop delay bound δ is a configured wall-clock duration Hop — timers
 // and deadlines expressed in ticks are realized as multiples of it. Every
-// callback of a given host runs on that host's single goroutine: receives,
-// timer firings, and Start are serialized through one inbox, so handlers
-// written for the single-threaded event loop need no extra locking here.
+// callback of a given host runs on that host's single goroutine: receives
+// (across all queries), timer firings, and Start are serialized through
+// one inbox, so handlers written for the single-threaded event loop need
+// no extra locking here. Timers across all hosts and queries share one
+// per-runtime timer heap drained by a single goroutine, so 10K hosts ×
+// many queries does not churn a goroutine per timer.
 //
-// Cost accounting mirrors §6.3 and sim.Stats: messages sent, messages
-// processed per host (computation cost is the max), and the longest causal
-// chain of messages (time cost), carried across process boundaries in
-// every transport frame.
+// Cost accounting mirrors §6.3 and sim.Stats per query: messages sent,
+// bytes on the wire (internal/wire's canonical encoding), messages
+// processed per host (computation cost is the max), and the longest
+// causal chain of messages (time cost), carried across process boundaries
+// in every transport frame.
 package node
 
 import (
@@ -33,6 +49,15 @@ import (
 	"validity/internal/transport"
 )
 
+// QueryID identifies one in-flight query across the fleet; it is the
+// demux key carried in every transport frame. ID 0 is the runtime's
+// default query — the single-query face used by SetHandler/Install and
+// LiveNetwork — and is never retired.
+type QueryID = transport.QueryID
+
+// DefaultQuery is the reserved QueryID of the single-query face.
+const DefaultQuery QueryID = 0
+
 // inboxCap bounds a host's pending-callback queue. Transport delivery
 // goroutines block when it fills, which back-pressures senders instead of
 // growing memory without bound.
@@ -41,9 +66,11 @@ const inboxCap = 4096
 // item is one serialized callback for a host goroutine.
 type item struct {
 	kind  itemKind
+	qs    *queryState
 	msg   transport.Message
 	tag   int
 	chain int
+	fn    func()
 }
 
 type itemKind uint8
@@ -52,6 +79,8 @@ const (
 	itemStart itemKind = iota
 	itemMsg
 	itemTimer
+	itemFunc   // run an arbitrary closure on the host goroutine (Do)
+	itemRetire // drop the host's handler for a retired query
 )
 
 // Config configures a Runtime.
@@ -67,24 +96,30 @@ type Config struct {
 	// local hosts on it and owns its lifecycle from Start to Stop.
 	Transport transport.Transport
 	// Hop is the wall-clock realization of the per-hop delay bound δ;
-	// virtual time is time.Since(start)/Hop. Zero pins virtual time at 0
-	// and fires all timers immediately (useful only for tests).
+	// virtual time is time since a query's clock armed, divided by Hop.
+	// Zero pins virtual time at 0 and fires all timers immediately
+	// (useful only for tests).
 	Hop time.Duration
 	// Local lists the hosts this runtime serves; nil means all of them
 	// (the single-process case).
 	Local []graph.HostID
 }
 
-// Stats aggregates the §6.3 cost measures observed by this runtime. In a
+// Stats aggregates the §6.3 cost measures observed by this runtime for
+// one query (QueryStats) or summed over all queries (Stats). In a
 // multi-process deployment each process sees its own share; totals are the
-// sum over processes (messages) and max over hosts (computation, time).
+// sum over processes (messages, bytes) and max over hosts (computation,
+// time).
 type Stats struct {
 	// MessagesSent counts sends issued by local hosts.
 	MessagesSent int64
+	// BytesOnWire is the canonical internal/wire size of every sent
+	// payload (zero for payloads outside the wire format).
+	BytesOnWire int64
 	// MessagesDelivered counts callbacks delivered to alive local hosts.
 	MessagesDelivered int64
-	// MessagesDropped counts messages lost at a dead local host or a
-	// failed transport send.
+	// MessagesDropped counts messages lost at a dead local host, a failed
+	// transport send, or a retired query.
 	MessagesDropped int64
 	// PerHostProcessed[h] is the computation cost of local host h
 	// (zero for hosts served elsewhere).
@@ -104,45 +139,69 @@ func (s *Stats) MaxComputation() int64 {
 	return max
 }
 
-// Runtime executes sim.Handlers for a set of local hosts over a Transport.
-type Runtime struct {
-	g      *graph.Graph
-	values []int64
-	tr     transport.Transport
-	hop    time.Duration
-	local  []bool
+// merge folds o into s (sums counters, maxes the time cost).
+func (s *Stats) merge(o Stats) {
+	s.MessagesSent += o.MessagesSent
+	s.BytesOnWire += o.BytesOnWire
+	s.MessagesDelivered += o.MessagesDelivered
+	s.MessagesDropped += o.MessagesDropped
+	for h, c := range o.PerHostProcessed {
+		s.PerHostProcessed[h] += c
+	}
+	if o.TimeCost > s.TimeCost {
+		s.TimeCost = o.TimeCost
+	}
+}
 
-	handlers []sim.Handler
-	inbox    []chan item
+// Runtime executes sim.Handlers for a set of local hosts over a Transport,
+// multiplexing any number of concurrent queries.
+type Runtime struct {
+	g          *graph.Graph
+	values     []int64
+	tr         transport.Transport
+	hop        time.Duration
+	local      []bool
+	localHosts []graph.HostID
+
+	inbox []chan item
 
 	mu      sync.Mutex
 	alive   []bool
 	started bool
 	closed  bool
-	quit    chan struct{}
-	wg      sync.WaitGroup
+	factory QueryFactory
+	queries map[QueryID]*queryEntry
+	def     *queryState
 
-	// The virtual clock arms at the runtime's first send or delivery, not
-	// at Start: in a multi-process deployment the shards boot at different
-	// wall times, and the protocols' tick guards measure time since the
-	// query reached them (a host that boots minutes early must not believe
-	// the query deadline has already passed). A host at distance l from
-	// h_q therefore reads a clock late by at most l·δ — the same skew any
-	// real deployment of the §3.1 model lives with. The anchor is a
-	// time.Time so elapsed time rides Go's monotonic clock: an NTP step
-	// mid-query must not move the deadline guards.
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// The engine clock arms at the runtime's first traffic of any query;
+	// KillAt departures are scheduled against it (a host dies for every
+	// query at once). Per-query protocol clocks are separate — see
+	// queryState. The anchor is a time.Time so elapsed time rides Go's
+	// monotonic clock: an NTP step mid-query must not move deadlines.
 	clockOnce  sync.Once
 	clockStart atomic.Pointer[time.Time]
 
-	sent      atomic.Int64
-	delivered atomic.Int64
-	dropped   atomic.Int64
-	processed []int64 // updated with atomics
-	timeCost  atomic.Int64
+	// Timer heap shared by all hosts and queries; see timer.go.
+	tmu          sync.Mutex
+	theap        timerHeap
+	timerSeq     uint64
+	timerWake    chan struct{}
+	pendingKills []pendingKill
+
+	// Per-host overflow queues for dispatch(): when a host's inbox is
+	// full, its items park here in FIFO order and at most one drainer
+	// goroutine per congested host feeds them in, so the timer loop never
+	// blocks behind one slow host and per-host ordering is preserved.
+	omu      sync.Mutex
+	overflow map[graph.HostID][]item
 }
 
-// New builds a runtime over cfg. Handlers are installed with SetHandler
-// before Start.
+// New builds a runtime over cfg. Single-query callers install handlers
+// with SetHandler before Start; multi-query callers register a
+// QueryFactory and issue queries with StartQuery.
 func New(cfg Config) (*Runtime, error) {
 	n := cfg.Graph.Len()
 	values := cfg.Values
@@ -161,11 +220,12 @@ func New(cfg Config) (*Runtime, error) {
 		tr:        cfg.Transport,
 		hop:       cfg.Hop,
 		local:     make([]bool, n),
-		handlers:  make([]sim.Handler, n),
 		inbox:     make([]chan item, n),
 		alive:     make([]bool, n),
+		queries:   make(map[QueryID]*queryEntry),
 		quit:      make(chan struct{}),
-		processed: make([]int64, n),
+		timerWake: make(chan struct{}, 1),
+		overflow:  make(map[graph.HostID][]item),
 	}
 	if cfg.Local == nil {
 		for h := range rt.local {
@@ -183,8 +243,13 @@ func New(cfg Config) (*Runtime, error) {
 		if rt.local[h] {
 			rt.alive[h] = true
 			rt.inbox[h] = make(chan item, inboxCap)
+			rt.localHosts = append(rt.localHosts, graph.HostID(h))
 		}
 	}
+	rt.def = newQueryState(rt, DefaultQuery, nil, 0)
+	defEntry := &queryEntry{qs: rt.def}
+	defEntry.once.Do(func() {}) // pre-consumed: the default face has no factory
+	rt.queries[DefaultQuery] = defEntry
 	return rt, nil
 }
 
@@ -194,22 +259,24 @@ func (rt *Runtime) Graph() *graph.Graph { return rt.g }
 // Local reports whether h is served by this runtime.
 func (rt *Runtime) Local(h graph.HostID) bool { return rt.local[h] }
 
-// SetHandler installs the protocol state machine for local host h.
-// Handlers for hosts served elsewhere are ignored, so callers can install
-// a full protocol (e.g. protocol.Wildfire materialized on a scratch
-// sim.Network) without tracking the shard boundary themselves.
+// SetHandler installs the protocol state machine for local host h on the
+// default query. Handlers for hosts served elsewhere are ignored, so
+// callers can install a full protocol (e.g. protocol.Wildfire materialized
+// on a scratch sim.Network) without tracking the shard boundary
+// themselves.
 func (rt *Runtime) SetHandler(h graph.HostID, hd sim.Handler) {
 	if rt.local[h] {
-		rt.handlers[h] = hd
+		rt.def.handlers[h] = hd
 	}
 }
 
-// Handler returns the handler installed at local host h (nil otherwise).
-func (rt *Runtime) Handler(h graph.HostID) sim.Handler { return rt.handlers[h] }
+// Handler returns the default-query handler installed at local host h
+// (nil otherwise).
+func (rt *Runtime) Handler(h graph.HostID) sim.Handler { return rt.def.handlers[h] }
 
 // Start binds every local host on the transport, opens it, launches one
-// goroutine per local host, and invokes each handler's Start on its own
-// goroutine.
+// goroutine per local host plus the timer loop, and invokes each
+// default-query handler's Start on its own goroutine.
 func (rt *Runtime) Start() error {
 	rt.mu.Lock()
 	if rt.started {
@@ -219,42 +286,111 @@ func (rt *Runtime) Start() error {
 	rt.started = true
 	rt.mu.Unlock()
 
-	for h := 0; h < rt.g.Len(); h++ {
-		if !rt.local[h] {
-			continue
-		}
-		id := graph.HostID(h)
+	for _, h := range rt.localHosts {
 		// Start is enqueued before the host is reachable, so it is always
 		// the first callback the host goroutine runs.
-		rt.inbox[h] <- item{kind: itemStart}
-		if err := rt.tr.Bind(id, rt.recvFunc(id)); err != nil {
+		rt.inbox[h] <- item{kind: itemStart, qs: rt.def}
+		if err := rt.tr.Bind(h, rt.recvFunc(h)); err != nil {
 			return err
 		}
 	}
 	if err := rt.tr.Open(); err != nil {
 		return err
 	}
-	for h := 0; h < rt.g.Len(); h++ {
-		if rt.local[h] {
-			rt.wg.Add(1)
-			go rt.hostLoop(graph.HostID(h))
-		}
+	for _, h := range rt.localHosts {
+		rt.wg.Add(1)
+		go rt.hostLoop(h)
 	}
+	rt.wg.Add(1)
+	go rt.timerLoop()
 	return nil
 }
 
-// recvFunc enqueues a transport delivery into h's inbox.
+// recvFunc demultiplexes a transport delivery into h's inbox: the frame's
+// QueryID selects (or lazily instantiates) the query it belongs to.
 func (rt *Runtime) recvFunc(h graph.HostID) transport.RecvFunc {
 	return func(m transport.Message) {
+		qs := rt.queryFor(m.Query, true)
+		if qs == nil {
+			return // unknown query and no factory to build it
+		}
+		if qs.retired.Load() {
+			qs.dropped.Add(1)
+			return
+		}
 		select {
-		case rt.inbox[h] <- item{kind: itemMsg, msg: m}:
+		case rt.inbox[h] <- item{kind: itemMsg, qs: qs, msg: m}:
 		case <-rt.quit:
 		}
 	}
 }
 
-// hostLoop is host h: it drains the inbox, running every callback of h on
-// this single goroutine.
+// enqueue places it into h's inbox, blocking under back-pressure (a full
+// inbox already means the per-hop budget is blown). For callers that must
+// not stall — the timer loop — use dispatch instead. The quit select
+// keeps shutdown from hanging on a congested host.
+func (rt *Runtime) enqueue(h graph.HostID, it item) {
+	select {
+	case rt.inbox[h] <- it:
+	case <-rt.quit:
+	}
+}
+
+// dispatch is enqueue for the timer loop: it never blocks the caller. A
+// full inbox parks the item on the host's overflow queue, fed in FIFO
+// order by at most one drainer goroutine per congested host, so one slow
+// host cannot stall timers, kills, or retirements of every other host,
+// and a host's items still arrive in the order they fired.
+func (rt *Runtime) dispatch(h graph.HostID, it item) {
+	rt.omu.Lock()
+	if q, busy := rt.overflow[h]; busy {
+		rt.overflow[h] = append(q, it) // keep FIFO behind parked items
+		rt.omu.Unlock()
+		return
+	}
+	rt.omu.Unlock()
+	select {
+	case rt.inbox[h] <- it:
+		return
+	case <-rt.quit:
+		return
+	default:
+	}
+	rt.omu.Lock()
+	if q, busy := rt.overflow[h]; busy {
+		rt.overflow[h] = append(q, it)
+		rt.omu.Unlock()
+		return
+	}
+	rt.overflow[h] = []item{it}
+	rt.omu.Unlock()
+	go rt.drainOverflow(h)
+}
+
+// drainOverflow feeds h's parked items into its inbox in order, exiting
+// once the queue empties (or the runtime stops).
+func (rt *Runtime) drainOverflow(h graph.HostID) {
+	for {
+		rt.omu.Lock()
+		q := rt.overflow[h]
+		if len(q) == 0 {
+			delete(rt.overflow, h)
+			rt.omu.Unlock()
+			return
+		}
+		it := q[0]
+		rt.overflow[h] = q[1:]
+		rt.omu.Unlock()
+		select {
+		case rt.inbox[h] <- it:
+		case <-rt.quit:
+			return
+		}
+	}
+}
+
+// hostLoop is host h: it drains the inbox, running every callback of h —
+// across all queries — on this single goroutine.
 func (rt *Runtime) hostLoop(h graph.HostID) {
 	defer rt.wg.Done()
 	for {
@@ -262,38 +398,51 @@ func (rt *Runtime) hostLoop(h graph.HostID) {
 		case <-rt.quit:
 			return
 		case it := <-rt.inbox[h]:
+			switch it.kind {
+			case itemFunc:
+				it.fn() // runs even on a dead host: state reads stay safe
+				continue
+			case itemRetire:
+				it.qs.handlers[h] = nil
+				continue
+			}
 			if !rt.aliveHost(h) {
 				if it.kind == itemMsg {
-					rt.dropped.Add(1)
+					it.qs.dropped.Add(1)
 				}
 				continue
 			}
-			hd := rt.handlers[h]
+			qs := it.qs
+			if qs.retired.Load() {
+				if it.kind == itemMsg {
+					qs.dropped.Add(1)
+				}
+				continue
+			}
+			hd := qs.handlers[h]
 			if hd == nil {
 				continue
 			}
 			switch it.kind {
 			case itemStart:
-				hd.Start(sim.BackendContext(rt, h, 0))
+				qs.startHost(rt, h, hd)
 			case itemMsg:
-				rt.armClock()
-				rt.delivered.Add(1)
-				atomic.AddInt64(&rt.processed[h], 1)
-				rt.observeChain(it.msg.Chain)
+				qs.armClock(rt)
+				// A lazily instantiated handler's first contact IS its
+				// start-of-life: run Start before the first Receive, so
+				// protocols that initialize per-host state in Start (not
+				// just at h_q) work on worker shards that never see
+				// StartQuery. started[h] makes it exactly-once against the
+				// explicit itemStart of the issuing process.
+				qs.startHost(rt, h, hd)
+				qs.delivered.Add(1)
+				atomic.AddInt64(&qs.processed[h], 1)
+				qs.observeChain(it.msg.Chain)
 				msg := sim.MakeMessage(it.msg.From, it.msg.To, it.msg.Payload, it.msg.Chain)
-				hd.Receive(sim.BackendContext(rt, h, it.msg.Chain), msg)
+				hd.Receive(sim.BackendContext(qs.be, h, it.msg.Chain), msg)
 			case itemTimer:
-				hd.Timer(sim.BackendContext(rt, h, it.chain), it.tag)
+				hd.Timer(sim.BackendContext(qs.be, h, it.chain), it.tag)
 			}
-		}
-	}
-}
-
-func (rt *Runtime) observeChain(chain int) {
-	for {
-		cur := rt.timeCost.Load()
-		if int64(chain) <= cur || rt.timeCost.CompareAndSwap(cur, int64(chain)) {
-			return
 		}
 	}
 }
@@ -304,10 +453,10 @@ func (rt *Runtime) aliveHost(h graph.HostID) bool {
 	return rt.alive[h]
 }
 
-// Kill switches local host h off mid-run (§3.2): it processes nothing
-// more, its timers never fire, and the transport drops traffic to and from
-// it. Killing a host served by another process is that process's call to
-// make; here it is a no-op.
+// Kill switches local host h off mid-run (§3.2) for every query: it
+// processes nothing more, its timers never fire, and the transport drops
+// traffic to and from it. Killing a host served by another process is that
+// process's call to make; here it is a no-op.
 func (rt *Runtime) Kill(h graph.HostID) {
 	if !rt.local[h] {
 		return
@@ -321,40 +470,31 @@ func (rt *Runtime) Kill(h graph.HostID) {
 // Alive reports whether local host h is alive.
 func (rt *Runtime) Alive(h graph.HostID) bool { return rt.local[h] && rt.aliveHost(h) }
 
-// KillAt schedules Kill(h) at virtual tick `at` on the runtime's query
-// clock. Because the clock arms at the first traffic, a departure
-// scheduled for tick 10 happens 10 δ after the query reaches this
-// process, no matter how much earlier the process booted.
-func (rt *Runtime) KillAt(h graph.HostID, at sim.Time) {
+// Do runs fn on host h's goroutine, serialized with every callback of h,
+// and returns once fn has completed. It is how callers read protocol state
+// (results, partials) of an in-flight query without racing the handlers.
+func (rt *Runtime) Do(h graph.HostID, fn func()) error {
 	if !rt.local[h] {
-		return
+		return fmt.Errorf("node: host %d not served by this runtime", h)
 	}
-	go func() {
-		poll := rt.hop / 2
-		if poll <= 0 {
-			poll = time.Millisecond
-		}
-		for rt.clockStart.Load() == nil {
-			select {
-			case <-time.After(poll):
-			case <-rt.quit:
-				return
-			}
-		}
-		delay := time.Duration(at-rt.Now()) * rt.hop
-		if delay > 0 {
-			select {
-			case <-time.After(delay):
-			case <-rt.quit:
-				return
-			}
-		}
-		rt.Kill(h)
-	}()
+	done := make(chan struct{})
+	it := item{kind: itemFunc, fn: func() { fn(); close(done) }}
+	select {
+	case rt.inbox[h] <- it:
+	case <-rt.quit:
+		return fmt.Errorf("node: runtime stopped")
+	}
+	select {
+	case <-done:
+		return nil
+	case <-rt.quit:
+		return fmt.Errorf("node: runtime stopped")
+	}
 }
 
-// Stop terminates all host goroutines, closes the transport, and waits
-// for everything to drain. Safe to call more than once.
+// Stop terminates all host goroutines and the timer loop, closes the
+// transport, and waits for everything to drain. Safe to call more than
+// once.
 func (rt *Runtime) Stop() {
 	rt.mu.Lock()
 	if rt.closed {
@@ -368,89 +508,52 @@ func (rt *Runtime) Stop() {
 	rt.wg.Wait()
 }
 
-// Stats returns a snapshot of the cost counters.
+// Stats returns a snapshot of the cost counters summed over all queries.
 func (rt *Runtime) Stats() Stats {
-	s := Stats{
-		MessagesSent:      rt.sent.Load(),
-		MessagesDelivered: rt.delivered.Load(),
-		MessagesDropped:   rt.dropped.Load(),
-		PerHostProcessed:  make([]int64, len(rt.processed)),
-		TimeCost:          int(rt.timeCost.Load()),
+	total := Stats{PerHostProcessed: make([]int64, rt.g.Len())}
+	rt.mu.Lock()
+	qss := make([]*queryState, 0, len(rt.queries))
+	for _, e := range rt.queries {
+		if e.qs != nil { // skip entries whose factory is still running
+			qss = append(qss, e.qs)
+		}
 	}
-	for h := range rt.processed {
-		s.PerHostProcessed[h] = atomic.LoadInt64(&rt.processed[h])
+	rt.mu.Unlock()
+	for _, qs := range qss {
+		total.merge(qs.snapshot())
 	}
-	return s
+	return total
 }
 
-// --- sim.Backend implementation -----------------------------------------
+// QueryStats returns the cost counters of one query; ok is false if this
+// runtime never saw the query.
+func (rt *Runtime) QueryStats(id QueryID) (Stats, bool) {
+	qs := rt.lookupQuery(id)
+	if qs == nil {
+		return Stats{}, false
+	}
+	return qs.snapshot(), true
+}
 
-// armClock starts the virtual clock if it is not yet running.
-func (rt *Runtime) armClock() {
+// armEngineClock starts the engine clock (KillAt's reference) if it is not
+// yet running, converting any departures scheduled before first traffic
+// into absolute timer-heap entries.
+func (rt *Runtime) armEngineClock() {
 	rt.clockOnce.Do(func() {
 		t := time.Now()
 		rt.clockStart.Store(&t)
+		rt.tmu.Lock()
+		for _, pk := range rt.pendingKills {
+			rt.pushTimerLocked(&timerEntry{
+				when: t.Add(time.Duration(pk.at) * rt.hop),
+				kind: tkKill,
+				h:    pk.h,
+			})
+		}
+		rt.pendingKills = nil
+		rt.tmu.Unlock()
+		rt.wakeTimer()
 	})
-}
-
-// Now implements sim.Backend: wall time since the clock armed, in δ hop
-// units; zero until the runtime has seen any traffic.
-func (rt *Runtime) Now() sim.Time {
-	start := rt.clockStart.Load()
-	if start == nil || rt.hop <= 0 {
-		return 0
-	}
-	return sim.Time(time.Since(*start) / rt.hop)
-}
-
-// Value implements sim.Backend.
-func (rt *Runtime) Value(h graph.HostID) int64 { return rt.values[h] }
-
-// Send implements sim.Backend: the message goes to the transport, which
-// delivers it if the destination is alive at arrival.
-func (rt *Runtime) Send(from, to graph.HostID, payload any, chain int) {
-	if !rt.aliveHost(from) {
-		return // a departed host says nothing more
-	}
-	rt.armClock()
-	rt.sent.Add(1)
-	err := rt.tr.Send(transport.Message{From: from, To: to, Chain: chain, Payload: payload})
-	if err != nil {
-		rt.dropped.Add(1)
-	}
-}
-
-// SetTimer implements sim.Backend: the tick delta becomes a wall-clock
-// timer whose firing is serialized through the host's inbox like any other
-// callback.
-//
-// A timer for the current tick means "end of this round": the event loop
-// fires it after all of the tick's deliveries (evDeliver orders before
-// evTimer), which is how WILDFIRE batches a round's arrivals into one
-// flush (Example 5.1). The live realization is a quarter-hop delay — long
-// enough to gather the messages of the same causal round, short enough
-// that receive (≤ δ/2 on the channel transport) plus flush stays within
-// the advertised per-hop bound δ.
-func (rt *Runtime) SetTimer(h graph.HostID, at sim.Time, tag, chain int) {
-	delay := time.Duration(at-rt.Now()) * rt.hop
-	if delay <= 0 {
-		delay = rt.hop / 4
-	}
-	go func() {
-		if delay > 0 {
-			timer := time.NewTimer(delay)
-			defer timer.Stop()
-			select {
-			case <-timer.C:
-			case <-rt.quit:
-				return
-			}
-		}
-		select {
-		case rt.inbox[h] <- item{kind: itemTimer, tag: tag, chain: chain}:
-		case <-rt.quit:
-		}
-	}()
 }
 
 // --- handler helpers -----------------------------------------------------

@@ -1,0 +1,179 @@
+package node
+
+import (
+	"container/heap"
+	"time"
+
+	"validity/internal/graph"
+	"validity/internal/sim"
+)
+
+// The runtime keeps a single timer heap drained by one goroutine instead
+// of a goroutine per armed timer: a 10K-host fleet multiplexing many
+// queries arms a protocol flush timer per (host, query, round), and
+// spawning a goroutine for each would churn the scheduler for no benefit.
+// The heap orders entries by wall-clock firing time with a sequence-number
+// tiebreak (FIFO among equal times, matching the event loop's
+// determinism), and covers protocol timers, scheduled departures (KillAt),
+// and query-state retirement alike.
+
+type timerKind uint8
+
+const (
+	// tkTimer fires a protocol timer callback on a host goroutine.
+	tkTimer timerKind = iota
+	// tkKill executes a scheduled departure (§3.2).
+	tkKill
+	// tkRetire retires a query's state after its deadline safely passed.
+	tkRetire
+)
+
+// timerEntry is one scheduled firing.
+type timerEntry struct {
+	when  time.Time
+	seq   uint64
+	kind  timerKind
+	h     graph.HostID
+	qs    *queryState
+	tag   int
+	chain int
+}
+
+// timerHeap is a min-heap of entries by (when, seq).
+type timerHeap []*timerEntry
+
+func (q timerHeap) Len() int { return len(q) }
+func (q timerHeap) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q timerHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *timerHeap) Push(x any)   { *q = append(*q, x.(*timerEntry)) }
+func (q *timerHeap) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// pendingKill is a departure scheduled before the engine clock armed; it
+// converts to an absolute heap entry at arm time (armEngineClock).
+type pendingKill struct {
+	h  graph.HostID
+	at sim.Time
+}
+
+// pushTimerLocked adds e to the heap; rt.tmu must be held.
+func (rt *Runtime) pushTimerLocked(e *timerEntry) {
+	e.seq = rt.timerSeq
+	rt.timerSeq++
+	heap.Push(&rt.theap, e)
+}
+
+// scheduleEntry adds e to the heap and wakes the timer loop so a new
+// earliest entry shortens the current sleep.
+func (rt *Runtime) scheduleEntry(e *timerEntry) {
+	rt.tmu.Lock()
+	rt.pushTimerLocked(e)
+	rt.tmu.Unlock()
+	rt.wakeTimer()
+}
+
+func (rt *Runtime) wakeTimer() {
+	select {
+	case rt.timerWake <- struct{}{}:
+	default:
+	}
+}
+
+// scheduleRetire arms query-state retirement: twice the deadline in wall
+// clock plus grace leaves the issuing process ample room to read the
+// result and straggler frames to be counted before the state is dropped.
+func (rt *Runtime) scheduleRetire(qs *queryState) {
+	if qs.deadline <= 0 {
+		return // the default face and deadline-less instances never retire
+	}
+	rt.scheduleEntry(&timerEntry{
+		when: time.Now().Add(2*time.Duration(qs.deadline)*rt.hop + retireGrace),
+		kind: tkRetire,
+		qs:   qs,
+	})
+}
+
+// timerLoop drains the heap: it sleeps until the earliest entry is due,
+// fires everything due, and re-sleeps. scheduleEntry wakes it early when a
+// new entry preempts the current earliest.
+func (rt *Runtime) timerLoop() {
+	defer rt.wg.Done()
+	for {
+		rt.tmu.Lock()
+		now := time.Now()
+		var due []*timerEntry
+		for len(rt.theap) > 0 && !rt.theap[0].when.After(now) {
+			due = append(due, heap.Pop(&rt.theap).(*timerEntry))
+		}
+		wait := time.Duration(-1)
+		if len(rt.theap) > 0 {
+			wait = rt.theap[0].when.Sub(now)
+		}
+		rt.tmu.Unlock()
+
+		for _, e := range due {
+			rt.fireTimer(e)
+		}
+
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if wait >= 0 {
+			timer = time.NewTimer(wait)
+			timeout = timer.C
+		}
+		select {
+		case <-rt.quit:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-rt.timerWake:
+		case <-timeout:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+func (rt *Runtime) fireTimer(e *timerEntry) {
+	switch e.kind {
+	case tkTimer:
+		// dispatch, not enqueue: the loop must not block behind one
+		// congested inbox while other hosts' timers are due.
+		rt.dispatch(e.h, item{kind: itemTimer, qs: e.qs, tag: e.tag, chain: e.chain})
+	case tkKill:
+		rt.Kill(e.h)
+	case tkRetire:
+		rt.retire(e.qs)
+	}
+}
+
+// KillAt schedules Kill(h) at virtual tick `at` on the engine clock (which
+// arms at the runtime's first traffic of any query): a departure scheduled
+// for tick 10 happens 10 δ after the first query reaches this process, no
+// matter how much earlier the process booted.
+func (rt *Runtime) KillAt(h graph.HostID, at sim.Time) {
+	if !rt.local[h] {
+		return
+	}
+	rt.tmu.Lock()
+	if start := rt.clockStart.Load(); start != nil {
+		rt.pushTimerLocked(&timerEntry{when: start.Add(time.Duration(at) * rt.hop), kind: tkKill, h: h})
+	} else {
+		rt.pendingKills = append(rt.pendingKills, pendingKill{h: h, at: at})
+	}
+	rt.tmu.Unlock()
+	rt.wakeTimer()
+}

@@ -21,7 +21,9 @@ const maxFrame = 1 << 24
 // TCP is the cross-process Transport: hosts are assigned to addresses, and
 // every process serves the hosts whose address it listens on. Frames are
 // length-prefixed gob: a 4-byte big-endian length followed by the
-// gob-encoded Message. Each frame carries its own gob stream so frames are
+// gob-encoded Message — whose header includes the QueryID, so one
+// long-running fleet can carry many concurrent queries over the same
+// connections. Each frame carries its own gob stream so frames are
 // self-contained and a torn connection never corrupts a successor; the
 // per-frame type-description overhead is irrelevant next to the protocols'
 // message counts. Payload types cross the wire as gob interface values, so

@@ -22,13 +22,23 @@ package transport
 
 import "validity/internal/graph"
 
-// Message is one protocol payload in flight between two hosts. Chain is
-// the causal depth of the message (1 + the depth of the message whose
-// processing triggered the send); carrying it on the wire keeps the §6.3
-// time-cost accounting exact across process boundaries.
+// QueryID identifies one in-flight query across the whole fleet. The node
+// runtime multiplexes many concurrent queries over one transport: every
+// frame is stamped with the query it belongs to, and the receiving process
+// demultiplexes it to that query's protocol instance. ID 0 is reserved for
+// the runtime's default (single-query) face; engine-issued queries use
+// IDs ≥ 1.
+type QueryID int64
+
+// Message is one protocol payload in flight between two hosts. Query
+// names the query instance the payload belongs to. Chain is the causal
+// depth of the message (1 + the depth of the message whose processing
+// triggered the send); carrying both in every frame keeps the per-query
+// §6.3 cost accounting exact across process boundaries.
 type Message struct {
 	From    graph.HostID
 	To      graph.HostID
+	Query   QueryID
 	Chain   int
 	Payload any
 }

@@ -253,3 +253,41 @@ func Size(e Envelope) (int, error) {
 	}
 	return len(b), nil
 }
+
+// envelopeHeaderSize is Encode's fixed prefix: magic (2), version (1),
+// kind (1), hop (2), has-partial flag (1).
+const envelopeHeaderSize = 7
+
+// SizeOf computes Encode's output length arithmetically, without
+// encoding. The node engine charges every sent payload its on-wire size,
+// so this sits on the runtime's hot path where Size's throwaway encode
+// would eat into the per-hop budget δ.
+func SizeOf(e Envelope) (int, error) {
+	if e.Partial == nil {
+		return envelopeHeaderSize, nil
+	}
+	switch e.AggKind {
+	case agg.Min, agg.Max:
+		return envelopeHeaderSize + 1 + 8, nil // tag + i64 value
+	case agg.Count, agg.Sum, agg.Avg:
+		sketches := agg.Sketches(e.Partial)
+		if len(sketches) == 0 {
+			return 0, fmt.Errorf("wire: %v partial carries no sketches", e.AggKind)
+		}
+		// Mirror AppendPartial's validation: a size must only be reported
+		// for envelopes the encoding can actually represent.
+		first := sketches[0]
+		if first.Vectors() > 255 || first.Bits() > 64 {
+			return 0, fmt.Errorf("wire: sketch dimensions %d/%d exceed wire limits",
+				first.Vectors(), first.Bits())
+		}
+		for _, sk := range sketches[1:] {
+			if sk.Vectors() != first.Vectors() || sk.Bits() != first.Bits() {
+				return 0, fmt.Errorf("wire: mismatched sketch dimensions within partial")
+			}
+		}
+		// tag + vectors + bits header, then the sketch words.
+		return envelopeHeaderSize + 3 + 8*len(sketches)*first.Vectors(), nil
+	}
+	return 0, fmt.Errorf("wire: unencodable kind %v", e.AggKind)
+}

@@ -226,3 +226,43 @@ func TestMsgKindString(t *testing.T) {
 		t.Fatal("unknown kind should still stringify")
 	}
 }
+
+func TestSizeOfMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	envs := []Envelope{
+		{Kind: MsgBroadcast, Hop: 3},
+		{Kind: MsgReport},
+	}
+	for _, k := range []agg.Kind{agg.Min, agg.Max, agg.Count, agg.Sum, agg.Avg} {
+		envs = append(envs, Envelope{
+			Kind:    MsgConverge,
+			Partial: agg.NewPartial(k, 42, params(), rng),
+			AggKind: k,
+		})
+	}
+	for _, e := range envs {
+		buf, err := Encode(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := SizeOf(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(buf) {
+			t.Fatalf("SizeOf(%v/%v) = %d, Encode produced %d bytes", e.Kind, e.AggKind, n, len(buf))
+		}
+	}
+}
+
+func TestSizeOfRejectsUnencodable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	big := agg.NewPartial(agg.Count, 1, agg.Params{Vectors: 300, Bits: 32}, rng)
+	e := Envelope{Kind: MsgConverge, Partial: big, AggKind: agg.Count}
+	if _, err := Encode(e); err == nil {
+		t.Fatal("Encode accepted 300 vectors")
+	}
+	if _, err := SizeOf(e); err == nil {
+		t.Fatal("SizeOf reported a size for an envelope Encode rejects")
+	}
+}

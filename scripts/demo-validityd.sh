@@ -1,23 +1,25 @@
 #!/bin/sh
 # Multi-process Single-Site Validity demo: three validityd processes on
-# loopback shard a 60-host random topology and answer one WILDFIRE COUNT
-# over the TCP transport; the result is checked against the oracle bounds.
+# loopback shard a 60-host random topology and answer a concurrent stream
+# of WILDFIRE COUNT/MIN queries over the TCP transport without any
+# restart; every result is checked against the oracle bounds.
 set -e
 
 BIN=${BIN:-$(mktemp -d)/validityd}
 go build -o "$BIN" ./cmd/validityd
 
 PEERS="0-19=127.0.0.1:7101,20-39=127.0.0.1:7102,40-59=127.0.0.1:7103"
-COMMON="-transport tcp -topology random -hosts 60 -seed 23 -peers $PEERS -agg count -hop 5ms"
+COMMON="-transport tcp -topology random -hosts 60 -seed 23 -peers $PEERS -agg count,min -hq 0,7 -dhat 12 -hop 5ms"
 
-"$BIN" $COMMON -serve 20-39 -run-for 30s &
+# Workers serve indefinitely; the trap reaps them when the demo is done.
+"$BIN" $COMMON -serve 20-39 &
 W1=$!
-"$BIN" $COMMON -serve 40-59 -run-for 30s &
+"$BIN" $COMMON -serve 40-59 &
 W2=$!
 trap 'kill $W1 $W2 2>/dev/null || true' EXIT
 
 sleep 1 # let the workers bind their listeners
-"$BIN" $COMMON -serve 0-19 -query -hq 0
+"$BIN" $COMMON -serve 0-19 -query -queries 8 -concurrency 2
 
-# The same query fully in process via the channel transport:
-"$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count -hop 5ms -query -hq 0
+# The same stream fully in process via the channel transport:
+"$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count,min -hq 0,7 -hop 5ms -query -queries 4 -concurrency 2
