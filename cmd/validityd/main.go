@@ -15,19 +15,34 @@
 // a query's frames. Each result is reported next to the oracle's
 // q(H_C)/q(H_U) bounds, then a throughput summary closes the stream.
 //
+// Dynamism — the paper's defining condition — is per query and needs no
+// coordination: every process derives each query's failure schedule from
+// the shared seed and the query id alone, enforces it on the hosts it
+// serves (a host is dead *for a query* once that query's schedule says
+// so, while still answering every other query), and the issuing process
+// judges each result against the oracle bounds of that query's own
+// timeline. Two flags control it, with all times in ticks of δ on each
+// query's own clock:
+//
+//	-kill host@tick,host@tick            explicit departures (§3.2)
+//	-churn rate=R[,window=W]             R hosts leave uniformly over [0,W]
+//	                                     (window defaults to the deadline)
+//	-churn model=sessions,mean=M[,window=W]
+//	                                     exponential lifetimes, mean M ticks
+//
 // Eight overlapping COUNT/MIN queries over a three-process 60-host fleet
-// on loopback:
+// on loopback, six distinct hosts churning out of each query's timeline:
 //
 //	validityd -transport tcp -topology random -hosts 60 -seed 23 \
 //	    -peers "0-19=127.0.0.1:7101,20-39=127.0.0.1:7102,40-59=127.0.0.1:7103" \
-//	    -agg count,min -hq 0,7 -serve 20-39 &
+//	    -agg count,min -hq 0,7 -churn rate=6,window=12 -serve 20-39 &
 //	validityd -transport tcp ... -serve 40-59 &
 //	validityd -transport tcp ... -serve 0-19 -query -queries 8 -concurrency 2
 //
 // The same stream fully in process (channel transport, no sockets):
 //
 //	validityd -transport chan -topology random -hosts 60 -seed 23 \
-//	    -agg count,min -hq 0,7 -query -queries 8 -concurrency 2
+//	    -agg count,min -hq 0,7 -churn rate=6 -query -queries 8 -concurrency 2
 package main
 
 import (

@@ -1,12 +1,21 @@
-// Package churn generates the dynamism workloads of the paper's
-// evaluation. The primary model (§6.2) removes R randomly selected hosts
-// from G at a uniform rate over an interval [t0, tn]; host joins are not
-// modeled because hosts that join after the query starts may or may not
-// contribute to a valid result (H_C is the interesting bound).
+// Package churn is the membership layer: the one subsystem every
+// execution layer consults for who is part of the network when. The
+// deterministic event loop (internal/sim) applies a Schedule to its event
+// queue, the live engine (internal/node) enforces one per query on each
+// query's own clock, and the oracle (internal/oracle) reads the same
+// schedule to bound what a valid answer may be — three consumers, one
+// source of dynamism.
 //
-// As an extension the package also provides a session-based model with
-// exponentially distributed host lifetimes (the median-60-minutes Gnutella
-// sessions of footnote 1) for the continuous-query experiments of §5.4.
+// The primary model (§6.2) removes R randomly selected hosts from G at a
+// uniform rate over an interval [t0, tn]; host joins are not modeled
+// because hosts that join after the query starts may or may not contribute
+// to a valid result (H_C is the interesting bound). As an extension the
+// package also provides a session-based model with exponentially
+// distributed host lifetimes (the median-60-minutes Gnutella sessions of
+// footnote 1) for the continuous-query experiments of §5.4. Both are
+// available behind the Source interface, which derives per-query schedules
+// deterministically from a seed so every process of a fleet regenerates
+// identical membership timelines without coordination.
 package churn
 
 import (
@@ -35,7 +44,9 @@ func (s Schedule) Apply(nw *sim.Network) {
 	}
 }
 
-// Failed returns the set of hosts that fail at or before t.
+// Failed returns the set of hosts that fail at or before t. It scans the
+// whole schedule; callers probing liveness in a loop should build an
+// Index once instead.
 func (s Schedule) Failed(t sim.Time) map[graph.HostID]bool {
 	m := make(map[graph.HostID]bool)
 	for _, f := range s {
@@ -46,7 +57,8 @@ func (s Schedule) Failed(t sim.Time) map[graph.HostID]bool {
 	return m
 }
 
-// FailTime returns the failure time of h, or -1 if h never fails.
+// FailTime returns the failure time of h, or -1 if h never fails. It is
+// an O(n) scan; callers probing many hosts should build an Index once.
 func (s Schedule) FailTime(h graph.HostID) sim.Time {
 	for _, f := range s {
 		if f.H == h {

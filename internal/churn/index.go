@@ -1,0 +1,79 @@
+package churn
+
+import (
+	"sort"
+
+	"validity/internal/graph"
+	"validity/internal/sim"
+)
+
+// Index is a Schedule prepared for repeated liveness queries: failures
+// sorted by time for prefix scans plus a host→first-failure map for O(1)
+// lookups. The plain Schedule methods (Failed, FailTime) scan the whole
+// slice on every call, which is fine for one-shot reporting but quadratic
+// when a loop probes every host — the oracle, the continuous driver, and
+// the engine's per-query membership tables all go through an Index
+// instead.
+type Index struct {
+	sorted Schedule
+	first  map[graph.HostID]sim.Time
+}
+
+// Index builds the indexed view of the schedule. The schedule is not
+// retained; duplicate entries for a host collapse to the earliest.
+func (s Schedule) Index() *Index {
+	ix := &Index{
+		sorted: append(Schedule(nil), s...),
+		first:  make(map[graph.HostID]sim.Time, len(s)),
+	}
+	sort.SliceStable(ix.sorted, func(i, j int) bool { return ix.sorted[i].T < ix.sorted[j].T })
+	for _, f := range ix.sorted {
+		if _, ok := ix.first[f.H]; !ok {
+			ix.first[f.H] = f.T
+		}
+	}
+	return ix
+}
+
+// Len returns the number of distinct hosts that ever fail.
+func (ix *Index) Len() int { return len(ix.first) }
+
+// FailTime returns the first failure time of h, or -1 if h never fails.
+func (ix *Index) FailTime(h graph.HostID) sim.Time {
+	if t, ok := ix.first[h]; ok {
+		return t
+	}
+	return -1
+}
+
+// Alive reports whether h is still a member at time t: it never fails, or
+// fails strictly after t.
+func (ix *Index) Alive(h graph.HostID, t sim.Time) bool {
+	ft, ok := ix.first[h]
+	return !ok || ft > t
+}
+
+// Survives reports whether h outlives the whole interval [0, horizon]
+// (fails strictly after it, or never) — the membership predicate behind
+// the oracle's H_C.
+func (ix *Index) Survives(h graph.HostID, horizon sim.Time) bool {
+	return ix.Alive(h, horizon)
+}
+
+// FailedBy returns the hosts whose first failure is at or before t, in
+// failure order. The prefix scan over the sorted slice costs O(answer),
+// not O(schedule).
+func (ix *Index) FailedBy(t sim.Time) []graph.HostID {
+	var out []graph.HostID
+	seen := make(map[graph.HostID]bool)
+	for _, f := range ix.sorted {
+		if f.T > t {
+			break
+		}
+		if !seen[f.H] {
+			seen[f.H] = true
+			out = append(out, f.H)
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package churn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"validity/internal/graph"
+	"validity/internal/sim"
+)
+
+// Source is the membership layer's generator of dynamism: it derives a
+// failure schedule for one query deterministically from a seed. Equal
+// (seed, protect, horizon) arguments yield byte-identical schedules on
+// every process, which is what lets a sharded fleet agree on which hosts
+// are dead for which query without exchanging a single coordination
+// message — the same regenerate-from-seed discipline the node engine uses
+// for topologies and FM coin tosses.
+//
+// Schedule times are ticks of δ on the consuming query's own clock: tick 0
+// is the instant the query's traffic first reaches a process. The
+// deterministic event loop consumes a Source by applying the derived
+// Schedule to a sim.Network (Schedule.Apply); the live engine consumes it
+// per query through node.QueryInstance.Churn.
+type Source interface {
+	// Schedule returns the failure schedule for one query. protect is the
+	// querying host h_q, which must never be scheduled (the paper's
+	// experiments protect it, §6.2); horizon is the query's deadline — no
+	// failure past it matters to the query, so none is emitted.
+	Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule
+}
+
+// QuerySeed derives the churn seed of one query from the fleet's shared
+// seed. Same discipline as node.QuerySeed but a distinct mixing constant,
+// so a query's churn schedule and its protocol coin tosses are independent
+// streams of the one shared seed.
+func QuerySeed(shared, id int64) int64 {
+	return shared ^ (id+1)*0x6A09E667F3BCC909
+}
+
+// Static is a fixed schedule that ignores the seed: the operator named the
+// failures explicitly (validityd's -kill flag). The same entries apply to
+// every query, each on its own clock — the per-query generalization of the
+// old engine-clock kill schedule.
+type Static Schedule
+
+// Schedule implements Source.
+func (s Static) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule {
+	out := make(Schedule, 0, len(s))
+	for _, f := range s {
+		if f.T <= horizon {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Uniform is the §6.2 removal model as a Source: Remove hosts of the
+// N-host network leave at a uniform rate over [0, Window] ticks of the
+// query clock (Window 0 means the query's horizon).
+type Uniform struct {
+	N      int
+	Remove int
+	Window sim.Time
+}
+
+// Schedule implements Source.
+func (u Uniform) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule {
+	win := u.Window
+	if win <= 0 || win > horizon {
+		win = horizon
+	}
+	return UniformRemoval(u.N, u.Remove, protect, 0, win, rand.New(rand.NewSource(seed)))
+}
+
+// Sessions is the session-based model as a Source: every host draws an
+// exponentially distributed lifetime with the given mean (in ticks), the
+// footnote-1 Gnutella model of §5.4. Window bounds the emitted failures
+// (0 means the query's horizon).
+type Sessions struct {
+	N      int
+	Mean   float64
+	Window sim.Time
+}
+
+// Schedule implements Source.
+func (s Sessions) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule {
+	win := s.Window
+	if win <= 0 || win > horizon {
+		win = horizon
+	}
+	return ExponentialSessions(s.N, protect, s.Mean, win, rand.New(rand.NewSource(seed)))
+}
+
+// Merge concatenates schedules into one, ordered by time. Static kills
+// plus a generated model compose this way (validityd's -kill and -churn
+// flags together).
+func Merge(scheds ...Schedule) Schedule {
+	var out Schedule
+	for _, s := range scheds {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// ParseSource parses the -churn flag grammar into a Source over an n-host
+// network:
+//
+//	rate=R[,window=W]                  R hosts leave uniformly over [0,W]
+//	model=sessions,mean=M[,window=W]   exponential lifetimes, mean M ticks
+//
+// All times are ticks of δ on each query's own clock; window defaults to
+// the query deadline. An empty spec yields a nil Source (no churn).
+func ParseSource(spec string, n int) (Source, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var (
+		model  = "uniform"
+		rate   = -1
+		window sim.Time
+		mean   float64
+	)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.IndexByte(part, '=')
+		if i < 0 {
+			return nil, fmt.Errorf("churn: spec entry %q is not key=value", part)
+		}
+		key, val := strings.TrimSpace(part[:i]), strings.TrimSpace(part[i+1:])
+		switch key {
+		case "model":
+			model = val
+		case "rate":
+			r, err := strconv.Atoi(val)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("churn: rate %q must be a non-negative integer", val)
+			}
+			rate = r
+		case "window":
+			w, err := strconv.Atoi(val)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("churn: window %q must be a non-negative tick count", val)
+			}
+			window = sim.Time(w)
+		case "mean":
+			m, err := strconv.ParseFloat(val, 64)
+			if err != nil || m <= 0 {
+				return nil, fmt.Errorf("churn: mean %q must be a positive tick count", val)
+			}
+			mean = m
+		default:
+			return nil, fmt.Errorf("churn: unknown spec key %q (want rate, window, model, mean)", key)
+		}
+	}
+	switch model {
+	case "uniform":
+		if mean > 0 {
+			return nil, fmt.Errorf("churn: mean applies to model=sessions, not uniform")
+		}
+		if rate < 0 {
+			return nil, fmt.Errorf("churn: model=uniform needs rate=R")
+		}
+		if rate == 0 {
+			return nil, nil
+		}
+		if rate >= n {
+			return nil, fmt.Errorf("churn: rate %d leaves no survivors in an %d-host network", rate, n)
+		}
+		return Uniform{N: n, Remove: rate, Window: window}, nil
+	case "sessions":
+		if mean <= 0 {
+			return nil, fmt.Errorf("churn: model=sessions needs mean=M")
+		}
+		if rate >= 0 {
+			return nil, fmt.Errorf("churn: rate applies to model=uniform, not sessions")
+		}
+		return Sessions{N: n, Mean: mean, Window: window}, nil
+	default:
+		return nil, fmt.Errorf("churn: unknown model %q (want uniform or sessions)", model)
+	}
+}

@@ -68,7 +68,7 @@ func (c *Config) validate() error {
 		return fmt.Errorf("continuous: window %d shorter than 2·D̂ = %d (§4.2 bound)",
 			c.WindowLen, 2*c.DHat)
 	}
-	if ft := c.Schedule.FailTime(c.Hq); ft >= 0 {
+	if ft := c.Schedule.Index().FailTime(c.Hq); ft >= 0 {
 		return fmt.Errorf("continuous: querying host %d scheduled to fail at %d", c.Hq, ft)
 	}
 	return nil
@@ -101,26 +101,15 @@ func Run(cfg Config) ([]WindowResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	failAt := make(map[graph.HostID]sim.Time, len(cfg.Schedule))
-	for _, f := range cfg.Schedule {
-		if cur, ok := failAt[f.H]; !ok || f.T < cur {
-			failAt[f.H] = f.T
-		}
-	}
+	ix := cfg.Schedule.Index()
 
 	results := make([]WindowResult, 0, cfg.Windows)
 	for w := 0; w < cfg.Windows; w++ {
 		start := sim.Time(w) * cfg.WindowLen
 		end := start + cfg.WindowLen
 
-		aliveAtStart := func(h graph.HostID) bool {
-			t, ok := failAt[h]
-			return !ok || t > start
-		}
-		survivesWindow := func(h graph.HostID) bool {
-			t, ok := failAt[h]
-			return !ok || t > end
-		}
+		aliveAtStart := func(h graph.HostID) bool { return ix.Alive(h, start) }
+		survivesWindow := func(h graph.HostID) bool { return ix.Alive(h, end) }
 
 		// Fresh per-window simulation: dead hosts removed up front,
 		// within-window failures applied at window-relative times.
@@ -138,7 +127,7 @@ func Run(cfg Config) ([]WindowResult, error) {
 				nw.SetInitiallyDead(id)
 			default:
 				alive++
-				if t, ok := failAt[id]; ok && t > start && t <= end {
+				if t := ix.FailTime(id); t > start && t <= end {
 					nw.FailAt(id, t-start)
 				}
 			}

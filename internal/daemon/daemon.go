@@ -12,12 +12,18 @@
 // comma-separated -agg and -hq lists — is derived from the query id and
 // the shared flags alone, so every process lazily instantiates an
 // identical protocol instance on first contact with a query's frames.
-// Each query's declared result is printed next to the oracle's
-// q(H_C) / q(H_U) bounds along with its own §6.3 cost counters (messages,
-// bytes on the wire, computation, time), and a throughput summary closes
-// the stream. With -transport chan the same binary answers the queries
-// fully in process — the zero-config smoke test of the exact code path
-// the fleet runs.
+// Dynamism is per query: -kill names explicit departures and -churn draws
+// them from a generated model (uniform removal or exponential sessions),
+// both in ticks of each query's own clock. Every process derives every
+// query's schedule from the shared seed and the query id alone — workers
+// enforce it locally, the issuer's oracle judges against it, and no churn
+// coordination ever crosses the wire. Each query's declared result is
+// printed next to the oracle's q(H_C) / q(H_U) bounds for its own
+// membership timeline along with its own §6.3 cost counters (messages,
+// bytes on the wire, computation, time) and issue-to-answer latency, and
+// a throughput summary closes the stream. With -transport chan the same
+// binary answers the queries fully in process — the zero-config smoke
+// test of the exact code path the fleet runs.
 //
 // The logic lives in this package (rather than in cmd/validityd's main)
 // so the multi-process end-to-end tests can re-exec the test binary as a
@@ -89,12 +95,21 @@ type Config struct {
 	// Hop is the wall-clock realization of the per-hop bound δ.
 	Hop time.Duration
 
-	// Kill schedules departures, "host@tick,host@tick", ticks on the
-	// engine clock. Entries for hosts served here are executed; all
-	// entries feed the oracle's churn schedule, so every process can be
-	// handed the same flag. Only meaningful with a single query (the
-	// oracle's churn schedule is relative to that query's clock).
+	// Kill schedules departures, "host@tick,host@tick", ticks on each
+	// query's own clock: every query of the stream sees the named hosts
+	// leave at the named ticks of its own timeline. Entries for hosts
+	// served here are enforced; all entries feed each query's oracle
+	// schedule, so every process can be handed the same flag.
 	Kill string
+
+	// Churn selects a generated membership model applied per query
+	// (churn.ParseSource grammar): "rate=R[,window=W]" removes R hosts
+	// uniformly over [0,W] ticks of each query's clock (window defaults
+	// to the query deadline); "model=sessions,mean=M[,window=W]" draws
+	// exponential lifetimes with mean M ticks. Each query's schedule is
+	// derived from the shared seed and the query id alone, so workers
+	// regenerate identical schedules with no coordination messages.
+	Churn string
 
 	// RunFor bounds a non-query process's lifetime (0 = serve forever).
 	RunFor time.Duration
@@ -122,7 +137,8 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.IntVar(&cfg.DHat, "dhat", 0, "stable-diameter overestimate D̂ (0 = diameter+2)")
 	fs.IntVar(&cfg.Vectors, "c", 64, "FM sketch repetitions for count/sum/avg")
 	fs.DurationVar(&cfg.Hop, "hop", 5*time.Millisecond, "wall-clock per-hop delay bound δ")
-	fs.StringVar(&cfg.Kill, "kill", "", "departure schedule host@tick,host@tick (§3.2)")
+	fs.StringVar(&cfg.Kill, "kill", "", "departure schedule host@tick,host@tick, per query on its own clock (§3.2)")
+	fs.StringVar(&cfg.Churn, "churn", "", "per-query churn model: rate=R[,window=W] or model=sessions,mean=M[,window=W] (ticks on each query's clock)")
 	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = forever)")
 	return cfg
 }
@@ -163,9 +179,6 @@ func validate(cfg *Config) error {
 	}
 	if cfg.Concurrency < 1 {
 		return fmt.Errorf("daemon: -concurrency must be ≥ 1, got %d", cfg.Concurrency)
-	}
-	if cfg.Kill != "" && cfg.Queries > 1 {
-		return fmt.Errorf("daemon: -kill is only supported with a single query; the oracle's churn schedule is relative to one query clock")
 	}
 	if cfg.Vectors < 1 || cfg.Vectors > 255 {
 		// The canonical wire format carries the repetition count in one
@@ -318,9 +331,54 @@ func parseKills(spec string, n int) ([]killEntry, error) {
 		if h < 0 || h >= n {
 			return nil, fmt.Errorf("daemon: kill host %d outside [0,%d)", h, n)
 		}
+		if t < 0 {
+			return nil, fmt.Errorf("daemon: kill tick %d is negative (ticks count from each query's start)", t)
+		}
 		out = append(out, killEntry{h: graph.HostID(h), t: sim.Time(t)})
 	}
 	return out, nil
+}
+
+// churnPlan is the daemon's slice of the membership layer: the static
+// -kill entries plus the generated -churn Source, combined into one
+// failure schedule per query. A query's schedule depends only on the
+// shared flags, the shared seed, and the query id — every process of the
+// fleet regenerates the identical timeline, so the issuer's oracle judges
+// exactly the membership the workers enforce, with no churn coordination
+// messages on the wire.
+type churnPlan struct {
+	seed   int64
+	static churn.Schedule
+	src    churn.Source
+}
+
+func newChurnPlan(cfg *Config, n int) (*churnPlan, error) {
+	kills, err := parseKills(cfg.Kill, n)
+	if err != nil {
+		return nil, err
+	}
+	src, err := churn.ParseSource(cfg.Churn, n)
+	if err != nil {
+		return nil, err
+	}
+	static := make(churn.Schedule, len(kills))
+	for i, k := range kills {
+		static[i] = churn.Failure{H: k.h, T: k.t}
+	}
+	return &churnPlan{seed: cfg.Seed, static: static, src: src}, nil
+}
+
+// active reports whether any dynamism is configured.
+func (p *churnPlan) active() bool { return len(p.static) > 0 || p.src != nil }
+
+// forQuery derives query id's failure schedule, in ticks of that query's
+// own clock, protecting its querying host from the generated model.
+func (p *churnPlan) forQuery(id node.QueryID, hq graph.HostID, deadline sim.Time) churn.Schedule {
+	sched := churn.Static(p.static).Schedule(0, hq, deadline)
+	if p.src != nil {
+		sched = churn.Merge(sched, p.src.Schedule(churn.QuerySeed(p.seed, int64(id)), hq, deadline))
+	}
+	return sched
 }
 
 // fmSlack is the multiplicative tolerance granted to FM estimates when
@@ -381,7 +439,7 @@ func Run(cfg *Config) error {
 	if dHat == 0 {
 		dHat = g.Diameter(nil) + 2
 	}
-	kills, err := parseKills(cfg.Kill, n)
+	plan, err := newChurnPlan(cfg, n)
 	if err != nil {
 		return err
 	}
@@ -438,22 +496,24 @@ func Run(cfg *Config) error {
 			Params: agg.Params{Vectors: cfg.Vectors, Bits: 32},
 		}
 	}
+	// The factory attaches each query's membership timeline to its
+	// instance: the node engine enforces it on the local hosts (a host is
+	// dead for a query once that query's schedule says so), and because
+	// every process derives the identical schedule from seed + id, issuer
+	// and workers agree without exchanging a single churn message.
 	rt.SetQueryFactory(func(id node.QueryID) (*node.QueryInstance, error) {
-		return node.BuildInstance(rt, protocol.NewWildfire(specFor(id)), node.QuerySeed(cfg.Seed, id))
+		spec := specFor(id)
+		inst, err := node.BuildInstance(rt, protocol.NewWildfire(spec), node.QuerySeed(cfg.Seed, id))
+		if err != nil {
+			return nil, err
+		}
+		inst.Churn = plan.forQuery(id, spec.Hq, spec.Deadline())
+		return inst, nil
 	})
 	if err := rt.Start(); err != nil {
 		return err
 	}
 	defer rt.Stop()
-
-	// Departures: local entries are executed at their tick on the engine
-	// clock; all entries inform the oracle, so every process of a fleet
-	// can be handed the identical -kill flag.
-	var sched churn.Schedule
-	for _, k := range kills {
-		sched = append(sched, churn.Failure{H: k.h, T: k.t})
-		rt.KillAt(k.h, k.t)
-	}
 
 	if !cfg.Query {
 		lifetime := "indefinitely"
@@ -470,16 +530,20 @@ func Run(cfg *Config) error {
 		return nil
 	}
 
-	fmt.Fprintf(out, "validityd: wildfire over %d hosts, D̂=%d, δ=%v, transport=%s: %d queries, concurrency %d, agg=%s, hq=%s\n",
-		n, dHat, cfg.Hop, cfg.Transport, cfg.Queries, cfg.Concurrency, cfg.Agg, cfg.Hq)
-	return runQueryStream(cfg, rt, g, values, sched, specFor, out)
+	churnNote := ""
+	if plan.active() {
+		churnNote = fmt.Sprintf(", churn kill=%q model=%q", cfg.Kill, cfg.Churn)
+	}
+	fmt.Fprintf(out, "validityd: wildfire over %d hosts, D̂=%d, δ=%v, transport=%s: %d queries, concurrency %d, agg=%s, hq=%s%s\n",
+		n, dHat, cfg.Hop, cfg.Transport, cfg.Queries, cfg.Concurrency, cfg.Agg, cfg.Hq, churnNote)
+	return runQueryStream(cfg, rt, g, values, plan, specFor, out)
 }
 
 // runQueryStream issues cfg.Queries queries over the running engine, up to
-// cfg.Concurrency in flight, printing each result against its own oracle
-// bounds and a closing throughput summary.
+// cfg.Concurrency in flight, printing each result against the oracle
+// bounds of its own membership timeline and a closing throughput summary.
 func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int64,
-	sched churn.Schedule, specFor func(node.QueryID) protocol.Query, out io.Writer) error {
+	plan *churnPlan, specFor func(node.QueryID) protocol.Query, out io.Writer) error {
 
 	var (
 		mu         sync.Mutex // serializes result lines and totals
@@ -501,6 +565,7 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 			// One query's wall-clock budget: the 2D̂δ protocol deadline
 			// plus slack for scheduler noise and the last hop's flush.
 			deadline := time.Duration(2*spec.DHat)*cfg.Hop + 10*cfg.Hop + 100*time.Millisecond
+			qStart := time.Now()
 			if _, err := rt.StartQuery(id); err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -522,7 +587,18 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 				mu.Unlock()
 				return
 			}
-			b := oracle.Compute(g, values, spec.Hq, sched, spec.Deadline(), spec.Kind)
+			// Latency is issue-to-answer-in-hand wall time. The stream is
+			// deadline-paced (the sleep above), so lat pins pacing
+			// uniformity: it inflates only when a query's budget is blown
+			// badly enough to delay the result read behind congested host
+			// callbacks — the warm-dial guarantee itself is pinned at the
+			// transport layer (TestTCPWarmPreDials) and at runtime boot
+			// (TestRuntimeWarmsTransportAtStart).
+			lat := time.Since(qStart)
+			// Each query is judged against its own H_C/H_U: the oracle is
+			// handed the query's own schedule on the query's own clock.
+			b := oracle.Compute(g, values, spec.Hq, plan.forQuery(id, spec.Hq, spec.Deadline()),
+				spec.Deadline(), spec.Kind)
 			slack := fmSlack(spec.Kind, cfg.Vectors)
 			st, _ := rt.QueryStats(id)
 			ok = b.ValidFactor(v, slack)
@@ -533,9 +609,10 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 			totalMsgs += st.MessagesSent
 			totalBytes += st.BytesOnWire
 			fmt.Fprintf(out,
-				"validityd: q=%d agg=%s hq=%d result=%.2f lower=%.2f upper=%.2f slack=%.2f valid=%t msgs=%d bytes=%d maxproc=%d timecost=%d\n",
+				"validityd: q=%d agg=%s hq=%d result=%.2f lower=%.2f upper=%.2f slack=%.2f valid=%t msgs=%d bytes=%d maxproc=%d timecost=%d lat=%dms\n",
 				id, spec.Kind, spec.Hq, v, b.LowerValue, b.UpperValue, slack, ok,
-				st.MessagesSent, st.BytesOnWire, st.MaxComputation(), st.TimeCost)
+				st.MessagesSent, st.BytesOnWire, st.MaxComputation(), st.TimeCost,
+				lat.Milliseconds())
 			mu.Unlock()
 		}(node.QueryID(i))
 	}

@@ -233,6 +233,9 @@ func TestParsePeersAndHostSets(t *testing.T) {
 	if _, err := parseKills("5@nope", 6); err == nil {
 		t.Fatal("malformed kill accepted")
 	}
+	if _, err := parseKills("5@-1", 6); err == nil {
+		t.Fatal("negative kill tick accepted; the engine would never execute it while the oracle counts the host dead")
+	}
 	ks, err := parseKills("1@0, 2@7", 6)
 	if err != nil || len(ks) != 2 || ks[1].h != 2 || ks[1].t != 7 {
 		t.Fatalf("parseKills = %v, %v", ks, err)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"validity/internal/churn"
 	"validity/internal/graph"
 	"validity/internal/protocol"
 	"validity/internal/sim"
@@ -15,7 +16,8 @@ import (
 
 // QueryInstance is one query's materialized protocol state on this
 // process: the protocol object (for result reading at the issuing
-// process), the per-host handlers, and the query's deadline in ticks.
+// process), the per-host handlers, the query's deadline in ticks, and the
+// query's membership timeline.
 type QueryInstance struct {
 	// Protocol is the installed protocol; nil for handler-only instances.
 	Protocol protocol.Protocol
@@ -24,6 +26,15 @@ type QueryInstance struct {
 	// Deadline is the query's termination time 2·D̂ in δ ticks; the engine
 	// retires the query's state well after it has passed.
 	Deadline sim.Time
+	// Churn is the query's failure schedule, in ticks of this query's own
+	// clock: host h is dead for this query — drops its frames, fires no
+	// timers, says nothing — from the scheduled tick on, while other
+	// queries sharing the fleet keep hearing from it. Factories must
+	// derive it deterministically from the shared seed and the query id
+	// (churn.Source + churn.QuerySeed), so every process enforces the
+	// identical timeline with no churn coordination on the wire.
+	// Runtime.Kill remains the degenerate all-queries case.
+	Churn churn.Schedule
 }
 
 // QueryFactory builds the local protocol instance for a query on first
@@ -145,6 +156,12 @@ func (rt *Runtime) queryForErr(id QueryID, create bool) (*queryState, bool, erro
 	e, ok := rt.queries[id]
 	f := rt.factory // the once body may run on any contender's goroutine
 	if !ok {
+		if rt.retired.seen(id) {
+			// Compacted id: a straggler frame must not resurrect the query
+			// through the factory — the engine does not recycle ids.
+			rt.mu.Unlock()
+			return nil, false, nil
+		}
 		if !create || f == nil {
 			rt.mu.Unlock()
 			return nil, false, nil
@@ -176,6 +193,15 @@ func (rt *Runtime) queryForErr(id QueryID, create bool) (*queryState, bool, erro
 		rt.mu.Unlock()
 		if e.err == nil {
 			rt.scheduleRetire(qs)
+		} else {
+			// Tombstones must not leak either: compact them onto the ring
+			// after the grace window, so an unbounded stream of failing (or
+			// hostile unknown) ids cannot grow the demux map forever.
+			rt.scheduleEntry(&timerEntry{
+				when: time.Now().Add(retireGrace),
+				kind: tkCompact,
+				qs:   qs,
+			})
 		}
 	})
 	if e.err != nil {
@@ -235,6 +261,16 @@ type queryState struct {
 	// synchronization is needed.
 	started []bool
 
+	// Per-query membership (nil when the query has no churn schedule):
+	// failAt[h] is h's first departure tick on this query's clock (-1 =
+	// never), and dead[h] flips when that tick passes — set at
+	// instantiation for tick-0 departures, otherwise by a timer-heap entry
+	// armed when the query clock arms. Dead-for-this-query hosts drop
+	// deliveries, fire no timers, and send nothing, all without touching
+	// the host's liveness on any other query.
+	failAt []sim.Time
+	dead   []atomic.Bool
+
 	retired   atomic.Bool
 	sent      atomic.Int64
 	bytes     atomic.Int64
@@ -260,9 +296,47 @@ func newQueryState(rt *Runtime, id QueryID, inst *QueryInstance, deadline sim.Ti
 				qs.handlers[h] = inst.Handlers[h]
 			}
 		}
+		if len(inst.Churn) > 0 {
+			// Degenerate negative departure times mean "before the query
+			// existed": clamp them to tick 0 so they read as
+			// dead-from-the-start rather than colliding with FailTime's
+			// never-fails sentinel (-1).
+			sched := make(churn.Schedule, len(inst.Churn))
+			for i, f := range inst.Churn {
+				if f.T < 0 {
+					f.T = 0
+				}
+				sched[i] = f
+			}
+			ix := sched.Index()
+			qs.failAt = make([]sim.Time, n)
+			qs.dead = make([]atomic.Bool, n)
+			for h := 0; h < n; h++ {
+				qs.failAt[h] = ix.FailTime(graph.HostID(h))
+				// A departure at tick 0 precedes any traffic: the host was
+				// never a member of this query, so it must not even run
+				// Start.
+				if qs.failAt[h] == 0 {
+					qs.dead[h].Store(true)
+				}
+			}
+		}
 	}
 	qs.be = &queryBackend{rt: rt, qs: qs}
 	return qs
+}
+
+// hostDead reports whether h has departed on this query's membership
+// timeline (independent of the host's liveness for other queries).
+func (qs *queryState) hostDead(h graph.HostID) bool {
+	return qs.dead != nil && qs.dead[h].Load()
+}
+
+// markDead executes h's scheduled departure for this query.
+func (qs *queryState) markDead(h graph.HostID) {
+	if qs.dead != nil {
+		qs.dead[h].Store(true)
+	}
 }
 
 // startHost runs hd.Start exactly once for host h; must be called from
@@ -275,12 +349,26 @@ func (qs *queryState) startHost(rt *Runtime, h graph.HostID, hd sim.Handler) {
 	hd.Start(sim.BackendContext(qs.be, h, 0))
 }
 
-// armClock starts the query clock if it is not yet running, and arms the
-// engine clock alongside it.
+// armClock starts the query clock if it is not yet running, converts the
+// query's churn schedule into absolute timer-heap entries for the local
+// hosts (a departure at tick k fires k·δ after the clock armed), and arms
+// the engine clock alongside it.
 func (qs *queryState) armClock(rt *Runtime) {
 	qs.clockOnce.Do(func() {
 		t := time.Now()
 		qs.clockStart.Store(&t)
+		if qs.failAt != nil {
+			for _, h := range rt.localHosts {
+				if at := qs.failAt[h]; at > 0 {
+					rt.scheduleEntry(&timerEntry{
+						when: t.Add(time.Duration(at) * rt.hop),
+						kind: tkQueryDead,
+						h:    h,
+						qs:   qs,
+					})
+				}
+			}
+		}
 	})
 	rt.armEngineClock()
 }
@@ -341,8 +429,8 @@ func (b *queryBackend) Graph() *graph.Graph { return b.rt.g }
 // arrival.
 func (b *queryBackend) Send(from, to graph.HostID, payload any, chain int) {
 	rt, qs := b.rt, b.qs
-	if !rt.aliveHost(from) {
-		return // a departed host says nothing more
+	if !rt.aliveHost(from) || qs.hostDead(from) {
+		return // a departed host says nothing more (§3.2), per query here
 	}
 	qs.armClock(rt)
 	qs.sent.Add(1)

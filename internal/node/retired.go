@@ -1,0 +1,122 @@
+package node
+
+// Retired-query compaction: a long-running fleet answers an unbounded
+// stream of queries, so per-query state must not accumulate forever.
+// Retirement (timer.go) already drops the protocol instance; one grace
+// window later the engine compacts the rest — the O(hosts) counter arrays
+// and the demux map entry — down to one fixed-size summary on a bounded
+// ring. The ring doubles as the recycling guard: a straggler frame for a
+// compacted query id is recognized and dropped instead of re-instantiating
+// the query through the factory. Only once an id has fallen off the ring
+// (retiredRingCap retirements later) is it forgotten entirely; by then any
+// frame for it is ancient beyond every grace window the engine grants.
+
+// retiredRingCap bounds how many retired-query summaries the engine keeps.
+const retiredRingCap = 256
+
+// RetiredStats is the compact §6.3 summary kept for a retired query after
+// its per-host state is dropped: the counters of Stats with the per-host
+// computation array collapsed to its maximum (the cost measure the paper
+// reports).
+type RetiredStats struct {
+	Query             QueryID
+	MessagesSent      int64
+	BytesOnWire       int64
+	MessagesDelivered int64
+	MessagesDropped   int64
+	MaxComputation    int64
+	TimeCost          int
+}
+
+// retiredRing is a fixed-capacity circular buffer of summaries with an id
+// index for O(1) recycling checks. All access is under Runtime.mu.
+type retiredRing struct {
+	buf  []RetiredStats
+	next int
+	full bool
+	byID map[QueryID]int
+}
+
+func (r *retiredRing) push(s RetiredStats) {
+	if r.buf == nil {
+		r.buf = make([]RetiredStats, retiredRingCap)
+		r.byID = make(map[QueryID]int, retiredRingCap)
+	}
+	if r.full {
+		delete(r.byID, r.buf[r.next].Query)
+	}
+	r.buf[r.next] = s
+	r.byID[s.Query] = r.next
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+}
+
+func (r *retiredRing) seen(id QueryID) bool {
+	_, ok := r.byID[id]
+	return ok
+}
+
+func (r *retiredRing) get(id QueryID) (RetiredStats, bool) {
+	i, ok := r.byID[id]
+	if !ok {
+		return RetiredStats{}, false
+	}
+	return r.buf[i], true
+}
+
+// list returns the summaries oldest-first.
+func (r *retiredRing) list() []RetiredStats {
+	if r.buf == nil {
+		return nil
+	}
+	var out []RetiredStats
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// summarize collapses a Stats snapshot to the ring's fixed-size form.
+func summarize(id QueryID, s Stats) RetiredStats {
+	return RetiredStats{
+		Query:             id,
+		MessagesSent:      s.MessagesSent,
+		BytesOnWire:       s.BytesOnWire,
+		MessagesDelivered: s.MessagesDelivered,
+		MessagesDropped:   s.MessagesDropped,
+		MaxComputation:    s.MaxComputation(),
+		TimeCost:          s.TimeCost,
+	}
+}
+
+// compact drops a retired query's remaining state: its counters fold into
+// the runtime-wide retired totals (so Stats keeps reporting the fleet's
+// full history) and a summary lands on the ring, then the demux map entry
+// is deleted. Fired from the timer heap one grace window after retirement.
+func (rt *Runtime) compact(qs *queryState) {
+	if qs.id == DefaultQuery {
+		return
+	}
+	snap := qs.snapshot()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	e := rt.queries[qs.id]
+	if e == nil || e.qs != qs {
+		return // already compacted
+	}
+	delete(rt.queries, qs.id)
+	rt.retiredTotal.merge(snap)
+	rt.retired.push(summarize(qs.id, snap))
+}
+
+// RetiredStats returns the summaries of recently retired-and-compacted
+// queries, oldest first. The ring keeps the last retiredRingCap of them;
+// queries still live (or still inside their post-retirement grace window)
+// are readable through QueryStats instead.
+func (rt *Runtime) RetiredStats() []RetiredStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.retired.list()
+}

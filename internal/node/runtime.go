@@ -172,6 +172,10 @@ type Runtime struct {
 	factory QueryFactory
 	queries map[QueryID]*queryEntry
 	def     *queryState
+	// Compacted history: retired queries shrink to ring summaries and fold
+	// their counters into retiredTotal (see retired.go).
+	retired      retiredRing
+	retiredTotal Stats
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -215,17 +219,18 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("node: nil transport")
 	}
 	rt := &Runtime{
-		g:         cfg.Graph,
-		values:    values,
-		tr:        cfg.Transport,
-		hop:       cfg.Hop,
-		local:     make([]bool, n),
-		inbox:     make([]chan item, n),
-		alive:     make([]bool, n),
-		queries:   make(map[QueryID]*queryEntry),
-		quit:      make(chan struct{}),
-		timerWake: make(chan struct{}, 1),
-		overflow:  make(map[graph.HostID][]item),
+		g:            cfg.Graph,
+		values:       values,
+		tr:           cfg.Transport,
+		hop:          cfg.Hop,
+		local:        make([]bool, n),
+		inbox:        make([]chan item, n),
+		alive:        make([]bool, n),
+		queries:      make(map[QueryID]*queryEntry),
+		retiredTotal: Stats{PerHostProcessed: make([]int64, n)},
+		quit:         make(chan struct{}),
+		timerWake:    make(chan struct{}, 1),
+		overflow:     make(map[graph.HostID][]item),
 	}
 	if cfg.Local == nil {
 		for h := range rt.local {
@@ -296,6 +301,12 @@ func (rt *Runtime) Start() error {
 	}
 	if err := rt.tr.Open(); err != nil {
 		return err
+	}
+	// Warm-up dials: transports that can pre-establish peer connections do
+	// so now, in the background, so a cold fleet's first query does not pay
+	// dial latency (and its retries) inside its own per-hop budget.
+	if w, ok := rt.tr.(transport.Warmer); ok {
+		w.Warm()
 	}
 	for _, h := range rt.localHosts {
 		rt.wg.Add(1)
@@ -419,6 +430,15 @@ func (rt *Runtime) hostLoop(h graph.HostID) {
 				}
 				continue
 			}
+			if qs.hostDead(h) {
+				// Dead on this query's membership timeline: its frames are
+				// swallowed and its timers never fire, while the host keeps
+				// serving every other query of the fleet.
+				if it.kind == itemMsg {
+					qs.dropped.Add(1)
+				}
+				continue
+			}
 			hd := qs.handlers[h]
 			if hd == nil {
 				continue
@@ -455,8 +475,10 @@ func (rt *Runtime) aliveHost(h graph.HostID) bool {
 
 // Kill switches local host h off mid-run (§3.2) for every query: it
 // processes nothing more, its timers never fire, and the transport drops
-// traffic to and from it. Killing a host served by another process is that
-// process's call to make; here it is a no-op.
+// traffic to and from it. It is the degenerate all-queries case of the
+// membership layer — per-query departures ride QueryInstance.Churn and
+// never touch the transport. Killing a host served by another process is
+// that process's call to make; here it is a no-op.
 func (rt *Runtime) Kill(h graph.HostID) {
 	if !rt.local[h] {
 		return
@@ -508,7 +530,8 @@ func (rt *Runtime) Stop() {
 	rt.wg.Wait()
 }
 
-// Stats returns a snapshot of the cost counters summed over all queries.
+// Stats returns a snapshot of the cost counters summed over all queries,
+// live and compacted alike.
 func (rt *Runtime) Stats() Stats {
 	total := Stats{PerHostProcessed: make([]int64, rt.g.Len())}
 	rt.mu.Lock()
@@ -518,6 +541,7 @@ func (rt *Runtime) Stats() Stats {
 			qss = append(qss, e.qs)
 		}
 	}
+	total.merge(rt.retiredTotal)
 	rt.mu.Unlock()
 	for _, qs := range qss {
 		total.merge(qs.snapshot())
@@ -526,11 +550,25 @@ func (rt *Runtime) Stats() Stats {
 }
 
 // QueryStats returns the cost counters of one query; ok is false if this
-// runtime never saw the query.
+// runtime never saw the query. For a query already compacted to the
+// retired ring, the summary counters are returned with a nil per-host
+// array (use RetiredStats for the compact form including MaxComputation).
 func (rt *Runtime) QueryStats(id QueryID) (Stats, bool) {
 	qs := rt.lookupQuery(id)
 	if qs == nil {
-		return Stats{}, false
+		rt.mu.Lock()
+		rs, ok := rt.retired.get(id)
+		rt.mu.Unlock()
+		if !ok {
+			return Stats{}, false
+		}
+		return Stats{
+			MessagesSent:      rs.MessagesSent,
+			BytesOnWire:       rs.BytesOnWire,
+			MessagesDelivered: rs.MessagesDelivered,
+			MessagesDropped:   rs.MessagesDropped,
+			TimeCost:          rs.TimeCost,
+		}, true
 	}
 	return qs.snapshot(), true
 }

@@ -14,18 +14,25 @@ import (
 // spawning a goroutine for each would churn the scheduler for no benefit.
 // The heap orders entries by wall-clock firing time with a sequence-number
 // tiebreak (FIFO among equal times, matching the event loop's
-// determinism), and covers protocol timers, scheduled departures (KillAt),
-// and query-state retirement alike.
+// determinism), and covers protocol timers, scheduled departures — both
+// the all-queries KillAt kind and per-query membership departures — and
+// query-state retirement and compaction alike.
 
 type timerKind uint8
 
 const (
 	// tkTimer fires a protocol timer callback on a host goroutine.
 	tkTimer timerKind = iota
-	// tkKill executes a scheduled departure (§3.2).
+	// tkKill executes a scheduled all-queries departure (§3.2).
 	tkKill
+	// tkQueryDead executes a departure on one query's membership timeline:
+	// the host goes silent for that query and that query only.
+	tkQueryDead
 	// tkRetire retires a query's state after its deadline safely passed.
 	tkRetire
+	// tkCompact folds a retired query's counters into the bounded ring of
+	// summaries and drops its O(hosts) state.
+	tkCompact
 )
 
 // timerEntry is one scheduled firing.
@@ -90,18 +97,19 @@ func (rt *Runtime) wakeTimer() {
 	}
 }
 
-// scheduleRetire arms query-state retirement: twice the deadline in wall
-// clock plus grace leaves the issuing process ample room to read the
-// result and straggler frames to be counted before the state is dropped.
+// scheduleRetire arms query-state retirement and, one more grace later,
+// compaction. Twice the deadline in wall clock plus grace leaves the
+// issuing process ample room to read the result and straggler frames to
+// be counted before the protocol state is dropped; the extra compaction
+// window keeps the counters readable for late reporting before they
+// shrink to a ring summary.
 func (rt *Runtime) scheduleRetire(qs *queryState) {
 	if qs.deadline <= 0 {
 		return // the default face and deadline-less instances never retire
 	}
-	rt.scheduleEntry(&timerEntry{
-		when: time.Now().Add(2*time.Duration(qs.deadline)*rt.hop + retireGrace),
-		kind: tkRetire,
-		qs:   qs,
-	})
+	retireAt := time.Now().Add(2*time.Duration(qs.deadline)*rt.hop + retireGrace)
+	rt.scheduleEntry(&timerEntry{when: retireAt, kind: tkRetire, qs: qs})
+	rt.scheduleEntry(&timerEntry{when: retireAt.Add(retireGrace), kind: tkCompact, qs: qs})
 }
 
 // timerLoop drains the heap: it sleeps until the earliest entry is due,
@@ -155,8 +163,12 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 		rt.dispatch(e.h, item{kind: itemTimer, qs: e.qs, tag: e.tag, chain: e.chain})
 	case tkKill:
 		rt.Kill(e.h)
+	case tkQueryDead:
+		e.qs.markDead(e.h)
 	case tkRetire:
 		rt.retire(e.qs)
+	case tkCompact:
+		rt.compact(e.qs)
 	}
 }
 

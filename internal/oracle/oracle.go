@@ -48,20 +48,16 @@ type Bounds struct {
 // deadline T, given the initial topology g, per-host values, and the churn
 // schedule. Hosts that fail strictly after T count as survivors of the
 // interval.
+//
+// Times are ticks on the query's own clock: under the engine's per-query
+// churn, every concurrent query hands its own schedule here and gets its
+// own H_C/H_U sets back — there is no shared clock to rebase onto.
 func Compute(g *graph.Graph, values []int64, hq graph.HostID, sched churn.Schedule, T sim.Time, kind agg.Kind) Bounds {
 	if len(values) != g.Len() {
 		panic(fmt.Sprintf("oracle: %d values for %d hosts", len(values), g.Len()))
 	}
-	failAt := make(map[graph.HostID]sim.Time, len(sched))
-	for _, f := range sched {
-		if cur, ok := failAt[f.H]; !ok || f.T < cur {
-			failAt[f.H] = f.T
-		}
-	}
-	survives := func(h graph.HostID) bool {
-		t, ok := failAt[h]
-		return !ok || t > T
-	}
+	ix := sched.Index()
+	survives := func(h graph.HostID) bool { return ix.Survives(h, T) }
 	// H_U: alive at some instant in [0, T] — every initial host qualifies
 	// (failures only remove; joins are not modeled in the experiments).
 	hu := make([]graph.HostID, 0, g.Len())

@@ -297,8 +297,39 @@ func (t *TCP) dropConn(addr string, c *tcpConn) {
 	c.c.Close()
 }
 
+// Warm implements Warmer: every distinct remote address is dialed in the
+// background so the connection cache is hot before the first query's
+// frames need it. Dials share the per-address single-flight locks with
+// Send, so a send racing a warm-up blocks briefly on the same dial rather
+// than opening a duplicate connection. Failures are ignored — a peer that
+// is still booting will be dialed again lazily on first send.
+func (t *TCP) Warm() {
+	t.mu.Lock()
+	local := make(map[string]bool, len(t.recv))
+	for h := range t.recv {
+		local[t.addrs[h]] = true
+	}
+	remote := make(map[string]bool)
+	for _, addr := range t.addrs {
+		if !local[addr] {
+			remote[addr] = true
+		}
+	}
+	t.mu.Unlock()
+	for addr := range remote {
+		t.wg.Add(1)
+		go func(addr string) {
+			defer t.wg.Done()
+			t.conn(addr) // cache on success; lazy dial retries on failure
+		}(addr)
+	}
+}
+
 // Kill implements Transport: local host h goes silent — inbound frames for
-// it are dropped from now on and its sends are swallowed.
+// it are dropped from now on and its sends are swallowed. Kill is the
+// all-queries degenerate case of the engine's membership layer: a host
+// dead for only some queries stays transport-alive and the node runtime
+// filters per query.
 func (t *TCP) Kill(h graph.HostID) {
 	t.mu.Lock()
 	t.dead[h] = true

@@ -79,3 +79,13 @@ type Transport interface {
 	// Close releases all resources and stops delivery goroutines.
 	Close() error
 }
+
+// Warmer is implemented by transports that can pre-establish their peer
+// links. Warm starts dialing every remote peer in the background and
+// returns immediately; it is an optimization only — lazy dialing on first
+// send remains the correctness path. The node runtime calls Warm right
+// after Open, so a cold fleet's first query does not pay connection setup
+// (and its retries) inside its own per-hop budget.
+type Warmer interface {
+	Warm()
+}

@@ -294,3 +294,53 @@ func TestGraphHostIDWireStability(t *testing.T) {
 		t.Fatal("payload truncated")
 	}
 }
+
+// TestTCPWarmPreDials checks the warm-up path: Warm establishes the
+// connection to every remote peer in the background, so the first Send
+// finds a hot cache instead of paying a dial, and Warm toward a peer that
+// never comes up neither blocks the caller nor wedges Close.
+func TestTCPWarmPreDials(t *testing.T) {
+	a, _, _, cb1, _ := newTCPPair(t)
+	a.Warm()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a.mu.Lock()
+		_, warmed := a.conns[a.addrs[1]]
+		a.mu.Unlock()
+		if warmed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Warm never established the peer connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The warmed connection must be the one Send uses (no re-dial, frames
+	// flow immediately).
+	if err := a.Send(Message{From: 0, To: 1, Payload: "warm"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cb1.waitFor(t, 1, 2*time.Second); got[0].Payload != "warm" {
+		t.Fatalf("payload %v over warmed connection", got[0].Payload)
+	}
+
+	// A fleet member that never starts: Warm returns immediately and the
+	// background dial gives up quietly once the transport closes.
+	ports := freeAddrs(t, 2)
+	lone := NewTCP([]string{ports[0], ports[1]})
+	lone.DialBudget = 200 * time.Millisecond
+	if err := lone.Bind(0, (&collector{}).recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := lone.Open(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	lone.Warm()
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("Warm blocked the caller for %v", elapsed)
+	}
+	if err := lone.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,14 +2,25 @@
 # Multi-process Single-Site Validity demo: three validityd processes on
 # loopback shard a 60-host random topology and answer a concurrent stream
 # of WILDFIRE COUNT/MIN queries over the TCP transport without any
-# restart; every result is checked against the oracle bounds.
+# restart — first over a static network, then under per-query churn, the
+# paper's defining condition. Every result is checked against the oracle
+# bounds of its own membership timeline.
+#
+# The -churn grammar (ticks are δ units on each query's own clock):
+#   -churn rate=R[,window=W]                 R hosts leave uniformly over [0,W]
+#   -churn model=sessions,mean=M[,window=W]  exponential lifetimes, mean M
+# -kill host@tick,... names explicit departures, also per query. Workers
+# regenerate every query's schedule from the shared seed and the query id
+# alone, so the same flags are handed to every process and no churn
+# coordination crosses the wire.
 set -e
 
 BIN=${BIN:-$(mktemp -d)/validityd}
 go build -o "$BIN" ./cmd/validityd
 
 PEERS="0-19=127.0.0.1:7101,20-39=127.0.0.1:7102,40-59=127.0.0.1:7103"
-COMMON="-transport tcp -topology random -hosts 60 -seed 23 -peers $PEERS -agg count,min -hq 0,7 -dhat 12 -hop 5ms"
+CHURN="-churn rate=6,window=12 -kill 29@4"
+COMMON="-transport tcp -topology random -hosts 60 -seed 23 -peers $PEERS -agg count,min -hq 0,7 -dhat 12 -hop 5ms $CHURN"
 
 # Workers serve indefinitely; the trap reaps them when the demo is done.
 "$BIN" $COMMON -serve 20-39 &
@@ -21,5 +32,5 @@ trap 'kill $W1 $W2 2>/dev/null || true' EXIT
 sleep 1 # let the workers bind their listeners
 "$BIN" $COMMON -serve 0-19 -query -queries 8 -concurrency 2
 
-# The same stream fully in process via the channel transport:
-"$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count,min -hq 0,7 -hop 5ms -query -queries 4 -concurrency 2
+# The same churned stream fully in process via the channel transport:
+"$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count,min -hq 0,7 -hop 5ms $CHURN -query -queries 4 -concurrency 2

@@ -28,7 +28,6 @@ package validity
 
 import (
 	"fmt"
-	"math/rand"
 
 	"validity/internal/agg"
 	"validity/internal/churn"
@@ -426,8 +425,10 @@ func (n *Network) Query(cfg QueryConfig) (*Result, error) {
 		if cfg.Failures >= n.g.Len() {
 			return nil, fmt.Errorf("validity: cannot fail %d of %d hosts", cfg.Failures, n.g.Len())
 		}
-		sched = churn.UniformRemoval(n.g.Len(), cfg.Failures, q.Hq, 0, q.Deadline(),
-			rand.New(rand.NewSource(seed)))
+		// The same membership Source the live engine derives per-query
+		// schedules from; here the event loop consumes it directly.
+		src := churn.Uniform{N: n.g.Len(), Remove: cfg.Failures}
+		sched = src.Schedule(seed, q.Hq, q.Deadline())
 	}
 	sched.Apply(nw)
 
