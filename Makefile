@@ -34,12 +34,15 @@ fmt-check:
 # demo runs the multi-process WILDFIRE demo: two validityd workers plus
 # one querying process shard 60 hosts over TCP on loopback and answer a
 # concurrent stream of COUNT/MIN queries under per-query churn, every
-# result judged against the oracle bounds of its own membership timeline.
+# result judged against the oracle bounds of its own membership timeline;
+# act two streams a continuous §4.2 query (-continuous) over its own
+# fleet, one line per window against that window's own bounds.
 demo: build
 	./scripts/demo-validityd.sh
 
-# bench measures engine throughput (queries/sec at a fixed fleet size),
-# both on a static network and at churn rate R>0 — the paper's regime —
-# and writes BENCH_engine.json so the perf trajectory tracks dynamism.
+# bench measures engine throughput at a fixed fleet size — one-shot
+# queries/sec and continuous windows/sec — both on a static network and
+# at churn rate R>0 (the paper's regime), and writes BENCH_engine.json so
+# the perf trajectory tracks dynamism.
 bench:
 	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test ./internal/daemon -run TestBenchEngine -count=1 -v

@@ -112,19 +112,23 @@ func Merge(scheds ...Schedule) Schedule {
 //
 //	rate=R[,window=W]                  R hosts leave uniformly over [0,W]
 //	model=sessions,mean=M[,window=W]   exponential lifetimes, mean M ticks
+//	trace=FILE                         recorded host,tick CSV (ParseTrace)
 //
-// All times are ticks of δ on each query's own clock; window defaults to
-// the query deadline. An empty spec yields a nil Source (no churn).
+// All times are ticks of δ on each query's own clock (the stream's
+// absolute clock for continuous queries); window defaults to the query
+// deadline. An empty spec yields a nil Source (no churn).
 func ParseSource(spec string, n int) (Source, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return nil, nil
 	}
 	var (
-		model  = "uniform"
-		rate   = -1
-		window sim.Time
-		mean   float64
+		model    = "uniform"
+		modelSet bool
+		rate     = -1
+		window   sim.Time
+		mean     float64
+		trace    string
 	)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -139,6 +143,7 @@ func ParseSource(spec string, n int) (Source, error) {
 		switch key {
 		case "model":
 			model = val
+			modelSet = true
 		case "rate":
 			r, err := strconv.Atoi(val)
 			if err != nil || r < 0 {
@@ -157,9 +162,26 @@ func ParseSource(spec string, n int) (Source, error) {
 				return nil, fmt.Errorf("churn: mean %q must be a positive tick count", val)
 			}
 			mean = m
+		case "trace":
+			if val == "" {
+				return nil, fmt.Errorf("churn: trace needs a file path")
+			}
+			trace = val
 		default:
-			return nil, fmt.Errorf("churn: unknown spec key %q (want rate, window, model, mean)", key)
+			return nil, fmt.Errorf("churn: unknown spec key %q (want rate, window, model, mean, trace)", key)
 		}
+	}
+	if trace != "" {
+		// A recorded trace IS the schedule; generator knobs make no sense
+		// alongside it.
+		if modelSet || rate >= 0 || mean > 0 || window != 0 {
+			return nil, fmt.Errorf("churn: trace=FILE cannot be combined with rate, mean, model, or window")
+		}
+		sched, err := LoadTrace(trace, n)
+		if err != nil {
+			return nil, err
+		}
+		return Trace(sched), nil
 	}
 	switch model {
 	case "uniform":

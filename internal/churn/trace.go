@@ -1,0 +1,103 @@
+package churn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"validity/internal/graph"
+	"validity/internal/sim"
+)
+
+// ParseTrace reads a recorded membership trace — the departure log of a
+// real P2P session capture — into a Schedule. The format is host,tick
+// CSV: one departure per line, host a 0-based id within the n-host
+// network, tick a non-negative time in δ units. Blank lines and
+// #-comments are skipped, and an optional "host,tick" header line is
+// tolerated so exported spreadsheets load unedited. The resulting
+// schedule is consumed through the Trace source: identical for every
+// query in one-shot mode, absolute stream time in continuous mode, the
+// querying host always dropped — and because every process reads the
+// same file, the no-coordination discipline of generated schedules
+// carries over.
+func ParseTrace(r io.Reader, n int) (Schedule, error) {
+	var out Schedule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	first := true // header tolerated on the first content line, wherever it sits
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if first && strings.EqualFold(line, "host,tick") {
+			first = false
+			continue // header row
+		}
+		first = false
+		i := strings.IndexByte(line, ',')
+		if i < 0 {
+			return nil, fmt.Errorf("churn: trace line %d: %q is not host,tick", lineNo, line)
+		}
+		h, err := strconv.Atoi(strings.TrimSpace(line[:i]))
+		if err != nil {
+			return nil, fmt.Errorf("churn: trace line %d: host %q: %w", lineNo, line[:i], err)
+		}
+		t, err := strconv.Atoi(strings.TrimSpace(line[i+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("churn: trace line %d: tick %q: %w", lineNo, line[i+1:], err)
+		}
+		if h < 0 || h >= n {
+			return nil, fmt.Errorf("churn: trace line %d: host %d outside [0,%d)", lineNo, h, n)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("churn: trace line %d: negative tick %d", lineNo, t)
+		}
+		out = append(out, Failure{H: graph.HostID(h), T: sim.Time(t)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("churn: reading trace: %w", err)
+	}
+	return Merge(out), nil
+}
+
+// Trace is a recorded schedule as a Source. Like Static it ignores the
+// seed (the file is the schedule), but unlike operator-named -kill
+// entries it honors the Source protect contract: the querying host is
+// dropped from the replayed trace, exactly as the generated models never
+// schedule it — a session log records the monitored population's churn,
+// and the monitor must outlive the query regardless of what the capture
+// says.
+type Trace Schedule
+
+// Schedule implements Source.
+func (tr Trace) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule {
+	out := make(Schedule, 0, len(tr))
+	for _, f := range tr {
+		if f.H != protect && f.T <= horizon {
+			out = append(out, f)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// LoadTrace is ParseTrace over a file path (the trace=FILE spec of
+// ParseSource).
+func LoadTrace(path string, n int) (Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("churn: trace: %w", err)
+	}
+	defer f.Close()
+	sched, err := ParseTrace(f, n)
+	if err != nil {
+		return nil, fmt.Errorf("churn: trace %s: %w", path, err)
+	}
+	return sched, nil
+}

@@ -109,7 +109,6 @@ func Run(cfg Config) ([]WindowResult, error) {
 		end := start + cfg.WindowLen
 
 		aliveAtStart := func(h graph.HostID) bool { return ix.Alive(h, start) }
-		survivesWindow := func(h graph.HostID) bool { return ix.Alive(h, end) }
 
 		// Fresh per-window simulation: dead hosts removed up front,
 		// within-window failures applied at window-relative times.
@@ -142,28 +141,18 @@ func Run(cfg Config) ([]WindowResult, error) {
 
 		// Window-local oracle bounds: H_C is the stable component of h_q
 		// among hosts surviving the whole window; H_U is everyone alive at
-		// some instant of the window, i.e. alive at its start.
-		hc := cfg.Graph.Component(cfg.Hq, survivesWindow)
-		var hcVals, huVals []int64
-		hu := 0
-		for h := 0; h < cfg.Graph.Len(); h++ {
-			if aliveAtStart(graph.HostID(h)) {
-				hu++
-				huVals = append(huVals, cfg.Values[h])
-			}
-		}
-		for _, h := range hc {
-			hcVals = append(hcVals, cfg.Values[h])
-		}
+		// some instant of the window, i.e. alive at its start. The same
+		// computation judges the live engine's windows (internal/stream).
+		b := oracle.ComputeInterval(cfg.Graph, cfg.Values, cfg.Hq, ix, start, end, cfg.Kind)
 		res := WindowResult{
 			Index:        w,
 			Start:        start,
 			End:          end,
 			Value:        v,
-			Lower:        agg.Exact(cfg.Kind, hcVals),
-			Upper:        agg.Exact(cfg.Kind, huVals),
-			HC:           len(hc),
-			HU:           hu,
+			Lower:        b.LowerValue,
+			Upper:        b.UpperValue,
+			HC:           len(b.HC),
+			HU:           len(b.HU),
 			AliveAtStart: alive,
 			Messages:     stats.MessagesSent,
 		}

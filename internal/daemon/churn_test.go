@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"testing"
+	"time"
 
 	"validity/internal/agg"
 	"validity/internal/churn"
@@ -219,13 +220,27 @@ func TestConcurrentTCPChurnedQueryStream(t *testing.T) {
 		lats = append(lats, lat)
 		latByQuery[id] = lat
 	}
-	// Warm-up dials: the cold fleet's first query must cost what the
-	// median query does (within 2×), because connections were established
-	// at boot rather than inside query 1's rounds.
+	// Adaptive result reads: latencies now track convergence, not the
+	// worst-case deadline. The median answer must beat the hard cap by a
+	// clear margin — more than half the stream returned at quiescence
+	// instead of sleeping out the full budget (a broken quiescence poll
+	// reads at the cap, never under it). Under the race detector the
+	// protocols legitimately use most of their widened deadline, so the
+	// margin is a couple of hops, not a fraction of the cap.
 	sorted := append([]float64(nil), lats...)
 	sort.Float64s(sorted)
 	median := sorted[len(sorted)/2]
-	if first := latByQuery[1]; first > 2*median {
-		t.Fatalf("first query latency %vms exceeds 2× median %vms: warm-up dials not effective", first, median)
+	capMs := float64((2*12*testHop + 10*testHop + 100*time.Millisecond).Milliseconds())
+	if margin := float64((2 * testHop).Milliseconds()); median > capMs-margin {
+		t.Fatalf("median latency %vms within %vms of the %vms hard cap: adaptive reads never bit", median, margin, capMs)
+	}
+	// Warm-up dials: the cold fleet's first query converges like the rest
+	// (within 3× of the median — convergence time varies where deadline
+	// pacing did not). A cold-dial regression would push query 1 to the
+	// cap while the warm median stays low; the dial behavior itself is
+	// pinned at the transport layer (TestTCPWarmPreDials) and at runtime
+	// boot (TestRuntimeWarmsTransportAtStart).
+	if first := latByQuery[1]; first > 3*median {
+		t.Fatalf("first query latency %vms exceeds 3× median %vms: warm-up dials not effective", first, median)
 	}
 }

@@ -13,17 +13,32 @@
 // the shared flags alone, so every process lazily instantiates an
 // identical protocol instance on first contact with a query's frames.
 // Dynamism is per query: -kill names explicit departures and -churn draws
-// them from a generated model (uniform removal or exponential sessions),
-// both in ticks of each query's own clock. Every process derives every
-// query's schedule from the shared seed and the query id alone — workers
-// enforce it locally, the issuer's oracle judges against it, and no churn
-// coordination ever crosses the wire. Each query's declared result is
-// printed next to the oracle's q(H_C) / q(H_U) bounds for its own
-// membership timeline along with its own §6.3 cost counters (messages,
-// bytes on the wire, computation, time) and issue-to-answer latency, and
-// a throughput summary closes the stream. With -transport chan the same
-// binary answers the queries fully in process — the zero-config smoke
-// test of the exact code path the fleet runs.
+// them from a generated model (uniform removal, exponential sessions, or
+// a recorded trace=FILE), both in ticks of each query's own clock. Every
+// process derives every query's schedule from the shared seed and the
+// query id alone — workers enforce it locally, the issuer's oracle judges
+// against it, and no churn coordination ever crosses the wire. Each
+// query's declared result is read adaptively — at quiescence, with the
+// 2D̂δ deadline as the hard cap — and printed next to the oracle's
+// q(H_C) / q(H_U) bounds for its own membership timeline along with its
+// own §6.3 cost counters (messages, bytes on the wire, computation, time)
+// and issue-to-answer latency, and a throughput summary closes the
+// stream. With -transport chan the same binary answers the queries fully
+// in process — the zero-config smoke test of the exact code path the
+// fleet runs.
+//
+// -continuous switches the fleet to the §4.2 streaming mode
+// (internal/stream): the -query process runs one continuous query as a
+// deterministic family of per-window engine sub-queries — window k is
+// query stream.WindowID(1, k), opened at stream tick k·W by the runtime's
+// timer heap — and prints one line per window, in window order, each
+// judged against that window's own H_C/H_U. -windows N sets the window
+// count, -window W the window length in ticks (≥ 2·D̂; 0 means exactly
+// 2·D̂). Churn flags move to the stream's absolute clock and the plan
+// slices them per window. Workers need nothing new: handed the same
+// flags, they materialize window instances on first contact from seed +
+// query id + window index alone, so no churn or window coordination ever
+// crosses the wire in this mode either.
 //
 // The logic lives in this package (rather than in cmd/validityd's main)
 // so the multi-process end-to-end tests can re-exec the test binary as a
@@ -34,7 +49,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -49,6 +63,7 @@ import (
 	"validity/internal/oracle"
 	"validity/internal/protocol"
 	"validity/internal/sim"
+	"validity/internal/stream"
 	"validity/internal/topology"
 	"validity/internal/transport"
 	"validity/internal/zipfval"
@@ -88,6 +103,20 @@ type Config struct {
 	Queries int
 	// Concurrency bounds how many queries are in flight at once.
 	Concurrency int
+	// Continuous switches the fleet to the §4.2 streaming mode: the
+	// -query process runs one continuous query as a family of per-window
+	// engine sub-queries (internal/stream) and reports one line per
+	// window against that window's own H_C/H_U bounds. Workers given the
+	// same flags serve the windows like any other queries — window
+	// instances materialize on first contact from seed + query id +
+	// window index alone.
+	Continuous bool
+	// Windows is the number of windows N a continuous query streams
+	// (0 = 8).
+	Windows int
+	// Window is the window length W in δ ticks; 0 means the §4.2 minimum
+	// 2·D̂.
+	Window int
 	// DHat is the stable-diameter overestimate D̂; 0 derives diameter+2
 	// from the topology.
 	DHat    int
@@ -134,6 +163,9 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.StringVar(&cfg.Agg, "agg", "count", "aggregate(s) min|max|count|sum|avg, comma-separated; query i uses entry i mod len")
 	fs.IntVar(&cfg.Queries, "queries", 1, "number of queries to issue (query process only)")
 	fs.IntVar(&cfg.Concurrency, "concurrency", 1, "maximum queries in flight at once")
+	fs.BoolVar(&cfg.Continuous, "continuous", false, "stream one continuous §4.2 query as per-window sub-queries")
+	fs.IntVar(&cfg.Windows, "windows", 0, "continuous: number of windows to stream (0 = 8)")
+	fs.IntVar(&cfg.Window, "window", 0, "continuous: window length W in δ ticks (0 = 2·D̂, the §4.2 minimum)")
 	fs.IntVar(&cfg.DHat, "dhat", 0, "stable-diameter overestimate D̂ (0 = diameter+2)")
 	fs.IntVar(&cfg.Vectors, "c", 64, "FM sketch repetitions for count/sum/avg")
 	fs.DurationVar(&cfg.Hop, "hop", 5*time.Millisecond, "wall-clock per-hop delay bound δ")
@@ -179,6 +211,23 @@ func validate(cfg *Config) error {
 	}
 	if cfg.Concurrency < 1 {
 		return fmt.Errorf("daemon: -concurrency must be ≥ 1, got %d", cfg.Concurrency)
+	}
+	if !cfg.Continuous && (cfg.Windows != 0 || cfg.Window != 0) {
+		return fmt.Errorf("daemon: -windows/-window apply only with -continuous")
+	}
+	if cfg.Continuous {
+		if cfg.Queries != 1 || cfg.Concurrency != 1 {
+			return fmt.Errorf("daemon: -queries/-concurrency apply to one-shot streams; -continuous runs one windowed query")
+		}
+		if cfg.Windows < 0 {
+			return fmt.Errorf("daemon: -windows must be ≥ 1, got %d", cfg.Windows)
+		}
+		if cfg.Windows == 0 {
+			cfg.Windows = 8
+		}
+		if cfg.Window < 0 {
+			return fmt.Errorf("daemon: -window must be ≥ 0 ticks, got %d", cfg.Window)
+		}
 	}
 	if cfg.Vectors < 1 || cfg.Vectors > 255 {
 		// The canonical wire format carries the repetition count in one
@@ -381,16 +430,6 @@ func (p *churnPlan) forQuery(id node.QueryID, hq graph.HostID, deadline sim.Time
 	return sched
 }
 
-// fmSlack is the multiplicative tolerance granted to FM estimates when
-// judging validity: 1 + 4·(0.78/√c), four standard errors of the
-// Flajolet–Martin estimator at c repetitions.
-func fmSlack(kind agg.Kind, vectors int) float64 {
-	if !kind.DuplicateSensitive() {
-		return 1 // min/max are exact
-	}
-	return 1 + 4*0.78/math.Sqrt(float64(vectors))
-}
-
 // buildGraph regenerates the shared topology.
 func buildGraph(cfg *Config) (*graph.Graph, error) {
 	if cfg.TopoFile != "" {
@@ -496,12 +535,46 @@ func Run(cfg *Config) error {
 			Params: agg.Params{Vectors: cfg.Vectors, Bits: 32},
 		}
 	}
+	// The continuous-query plan: identical on every process handed the
+	// same flags, exactly like a one-shot query spec. The base query id is
+	// 1; dynamism moves to the stream's absolute clock (static -kill
+	// entries and the -churn source span the whole N·W-tick run and are
+	// sliced per window by the plan).
+	var splan *stream.Plan
+	if cfg.Continuous {
+		splan = &stream.Plan{
+			Query:     1,
+			Spec:      specFor(1),
+			WindowLen: sim.Time(cfg.Window),
+			Windows:   cfg.Windows,
+			Seed:      cfg.Seed,
+			Static:    plan.static,
+			Source:    plan.src,
+		}
+		if err := splan.Validate(); err != nil {
+			return err
+		}
+	}
+
 	// The factory attaches each query's membership timeline to its
 	// instance: the node engine enforces it on the local hosts (a host is
 	// dead for a query once that query's schedule says so), and because
 	// every process derives the identical schedule from seed + id, issuer
-	// and workers agree without exchanging a single churn message.
+	// and workers agree without exchanging a single churn message. Window
+	// ids of a continuous query dispatch to the stream plan — a worker
+	// serves windows exactly as it serves one-shot queries, materializing
+	// each on first contact.
+	var windowFactory node.QueryFactory
+	if splan != nil {
+		windowFactory = splan.Factory(rt)
+	}
 	rt.SetQueryFactory(func(id node.QueryID) (*node.QueryInstance, error) {
+		if _, _, isWindow := stream.SplitWindowID(id); isWindow {
+			if windowFactory == nil {
+				return nil, fmt.Errorf("daemon: window frame for query %d but this process was not started with -continuous", id)
+			}
+			return windowFactory(id)
+		}
 		spec := specFor(id)
 		inst, err := node.BuildInstance(rt, protocol.NewWildfire(spec), node.QuerySeed(cfg.Seed, id))
 		if err != nil {
@@ -534,9 +607,60 @@ func Run(cfg *Config) error {
 	if plan.active() {
 		churnNote = fmt.Sprintf(", churn kill=%q model=%q", cfg.Kill, cfg.Churn)
 	}
+	if cfg.Continuous {
+		fmt.Fprintf(out, "validityd: continuous wildfire over %d hosts, D̂=%d, δ=%v, transport=%s: %d windows of %d ticks, agg=%s, hq=%d%s\n",
+			n, dHat, cfg.Hop, cfg.Transport, splan.Windows, splan.WindowLen, splan.Spec.Kind, splan.Spec.Hq, churnNote)
+		return runContinuous(cfg, rt, splan, out)
+	}
 	fmt.Fprintf(out, "validityd: wildfire over %d hosts, D̂=%d, δ=%v, transport=%s: %d queries, concurrency %d, agg=%s, hq=%s%s\n",
 		n, dHat, cfg.Hop, cfg.Transport, cfg.Queries, cfg.Concurrency, cfg.Agg, cfg.Hq, churnNote)
 	return runQueryStream(cfg, rt, g, values, plan, specFor, out)
+}
+
+// runContinuous drives one continuous query over the running engine: the
+// stream opens window k's sub-query at stream tick k·W on the runtime's
+// timer heap, reads each window at quiescence (deadline-capped), and this
+// loop prints one line per window — in window order, each against the
+// window's own H_C/H_U — then a windows/sec summary.
+func runContinuous(cfg *Config, rt *node.Runtime, splan *stream.Plan, out io.Writer) error {
+	start := time.Now()
+	s, err := stream.Start(rt, splan)
+	if err != nil {
+		return err
+	}
+	var (
+		windows    int
+		valid      int
+		totalMsgs  int64
+		totalBytes int64
+	)
+	for r := range s.Results() {
+		if r.Err != nil {
+			return r.Err
+		}
+		windows++
+		if r.Valid {
+			valid++
+		}
+		totalMsgs += r.Stats.MessagesSent
+		totalBytes += r.Stats.BytesOnWire
+		fmt.Fprintf(out,
+			"validityd: q=%d window=%d span=[%d,%d) agg=%s hq=%d result=%.2f lower=%.2f upper=%.2f slack=%.2f valid=%t msgs=%d bytes=%d lat=%dms\n",
+			splan.Query, r.Window, r.Start, r.End, splan.Spec.Kind, splan.Spec.Hq,
+			r.Value, r.Lower, r.Upper, r.Slack, r.Valid,
+			r.Stats.MessagesSent, r.Stats.BytesOnWire, r.Latency.Milliseconds())
+	}
+	elapsed := time.Since(start)
+	if windows != splan.Windows {
+		return fmt.Errorf("daemon: stream delivered %d of %d windows", windows, splan.Windows)
+	}
+	fmt.Fprintf(out, "validityd: streamed %d windows (%d valid) in %v (%.2f windows/sec) msgs=%d bytes=%d\n",
+		windows, valid, elapsed.Round(time.Millisecond),
+		float64(windows)/elapsed.Seconds(), totalMsgs, totalBytes)
+	if valid != windows {
+		return fmt.Errorf("daemon: %d of %d windows judged invalid", windows-valid, windows)
+	}
+	return nil
 }
 
 // runQueryStream issues cfg.Queries queries over the running engine, up to
@@ -562,9 +686,6 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 			defer wg.Done()
 			defer func() { <-sem }()
 			spec := specFor(id)
-			// One query's wall-clock budget: the 2D̂δ protocol deadline
-			// plus slack for scheduler noise and the last hop's flush.
-			deadline := time.Duration(2*spec.DHat)*cfg.Hop + 10*cfg.Hop + 100*time.Millisecond
 			qStart := time.Now()
 			if _, err := rt.StartQuery(id); err != nil {
 				mu.Lock()
@@ -574,8 +695,14 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 				mu.Unlock()
 				return
 			}
-			time.Sleep(deadline)
-			v, ok, err := rt.QueryResult(id, spec.Hq)
+			// Adaptive result read: after the runtime's sound floor (one
+			// broadcast sweep in process, the protocol deadline when the
+			// fleet is sharded), local quiescence ends the wait — the
+			// answer is in hand when the query converges, not when the
+			// worst-case budget expires. The old sleep-out-the-deadline
+			// budget stays as the hard cap.
+			floor, settle, cap := rt.AwaitBracket(spec.Deadline())
+			v, ok, err := rt.AwaitQueryResult(id, spec.Hq, floor, settle, cap)
 			if err == nil && !ok {
 				err = fmt.Errorf("daemon: query %d declared no result at h_q=%d", id, spec.Hq)
 			}
@@ -587,19 +714,16 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 				mu.Unlock()
 				return
 			}
-			// Latency is issue-to-answer-in-hand wall time. The stream is
-			// deadline-paced (the sleep above), so lat pins pacing
-			// uniformity: it inflates only when a query's budget is blown
-			// badly enough to delay the result read behind congested host
-			// callbacks — the warm-dial guarantee itself is pinned at the
-			// transport layer (TestTCPWarmPreDials) and at runtime boot
-			// (TestRuntimeWarmsTransportAtStart).
+			// Latency is issue-to-answer-in-hand wall time and now tracks
+			// actual convergence (the warm-dial guarantee is pinned at the
+			// transport layer, TestTCPWarmPreDials, and at runtime boot,
+			// TestRuntimeWarmsTransportAtStart).
 			lat := time.Since(qStart)
 			// Each query is judged against its own H_C/H_U: the oracle is
 			// handed the query's own schedule on the query's own clock.
 			b := oracle.Compute(g, values, spec.Hq, plan.forQuery(id, spec.Hq, spec.Deadline()),
 				spec.Deadline(), spec.Kind)
-			slack := fmSlack(spec.Kind, cfg.Vectors)
+			slack := oracle.FMSlack(spec.Kind, cfg.Vectors)
 			st, _ := rt.QueryStats(id)
 			ok = b.ValidFactor(v, slack)
 			mu.Lock()

@@ -1,0 +1,129 @@
+package node
+
+import (
+	"time"
+
+	"validity/internal/graph"
+	"validity/internal/sim"
+)
+
+// ResultFloor returns the earliest wall-clock wait after which a
+// quiescence-based early result read of a query with the given deadline
+// (in δ ticks) is sound on this runtime.
+//
+// When every host of G is served locally, local silence IS global
+// silence: once the pipes are empty nothing can mutate h_q's partial
+// again, so one full broadcast sweep (half the 2·D̂ deadline) plus margin
+// suffices and quiescence does the rest. When some hosts are served by
+// other processes, remote progress is invisible to local counters — a
+// worker still materializing its instances looks exactly like a
+// converged fleet — so only the protocol's own deadline makes the local
+// partial final: a WILDFIRE host at distance l stops combining at
+// (2D̂−l+1)δ, hence h_q accepts nothing after 2D̂δ on the query clock and
+// its partial is frozen once the deadline (plus a processing margin) has
+// passed. The adaptive saving on a sharded fleet is the scheduling slack
+// past the deadline, not the deadline itself.
+func (rt *Runtime) ResultFloor(deadline sim.Time) time.Duration {
+	if len(rt.localHosts) == rt.g.Len() {
+		return time.Duration(deadline/2+2) * rt.hop
+	}
+	return time.Duration(deadline+2) * rt.hop
+}
+
+// queryActivity returns a monotone counter of every event this runtime
+// has locally observed for query id — sends, deliveries, and drops. The
+// counter goes quiet exactly when the query's local traffic does, which
+// is the signal AwaitQueryResult polls for.
+func (rt *Runtime) queryActivity(id QueryID) (int64, bool) {
+	qs := rt.lookupQuery(id)
+	if qs == nil {
+		return 0, false
+	}
+	return qs.sent.Load() + qs.delivered.Load() + qs.dropped.Load(), true
+}
+
+// AwaitBracket derives the standard adaptive-read parameters for a query
+// with termination time `deadline` (2·D̂, in δ ticks): the sound floor
+// for this runtime (ResultFloor), a quiescence settle window of a
+// quarter deadline clamped to at least two hops, and the hard cap — the
+// full wall-clock budget of the old sleep-out-the-deadline path (the
+// protocol deadline plus slack for scheduler noise and the last hop's
+// flush). One derivation shared by the daemon's one-shot reads and the
+// streaming subsystem's per-window reads keeps their latencies
+// comparable.
+func (rt *Runtime) AwaitBracket(deadline sim.Time) (floor, settle, cap time.Duration) {
+	floor = rt.ResultFloor(deadline)
+	settle = time.Duration(deadline) * rt.hop / 4
+	if settle < 2*rt.hop {
+		settle = 2 * rt.hop
+	}
+	cap = time.Duration(deadline)*rt.hop + 10*rt.hop + 100*time.Millisecond
+	return floor, settle, cap
+}
+
+// AwaitQueryResult reads query id's declared result at local host h as
+// soon as the query has converged, instead of sleeping out the full
+// wall-clock deadline:
+//
+//   - floor is the minimum wait before any early read — ResultFloor
+//     derives the sound value for this runtime (one broadcast sweep when
+//     every host is local, the full protocol deadline when sharded);
+//   - settle is the silence window: once the query's locally observed
+//     traffic (sends, deliveries, drops) has been quiet for settle after
+//     the floor, the protocol state is treated as final and the result is
+//     read. WILDFIRE refloods on every partial change (§5.1), so local
+//     silence means nothing en route through this shard is still mutating
+//     h's partial;
+//   - cap is the hard deadline: at cap the result is read unconditionally,
+//     exactly as the old sleep-out-the-deadline path did. Convergence can
+//     only ever shorten the wait, never loosen the §3.1 deadline.
+//
+// The result read itself runs through Runtime.Do on h's own goroutine, so
+// it can never race in-flight handler callbacks. The returned latency-
+// relevant guarantee is the point: one-shot and per-window answer times
+// reflect actual convergence, not the worst-case bound.
+func (rt *Runtime) AwaitQueryResult(id QueryID, h graph.HostID, floor, settle, cap time.Duration) (float64, bool, error) {
+	start := time.Now()
+	hard := start.Add(cap)
+	if settle <= 0 {
+		settle = rt.hop
+	}
+	poll := rt.hop / 2
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	lastAct := int64(-1)
+	quietSince := start
+	for {
+		now := time.Now()
+		if !now.Before(hard) {
+			break
+		}
+		if act, known := rt.queryActivity(id); known && act != lastAct {
+			lastAct = act
+			quietSince = now
+		}
+		// Early read: past the floor, some traffic observed, and silent
+		// for the whole settle window.
+		if lastAct > 0 && now.Sub(start) >= floor && now.Sub(quietSince) >= settle {
+			v, ok, err := rt.QueryResult(id, h)
+			if err == nil && ok {
+				return v, true, nil
+			}
+			// No declared result yet (or a transient read failure): keep
+			// polling until the hard cap.
+		}
+		wait := poll
+		if rem := hard.Sub(time.Now()); rem < wait {
+			wait = rem
+		}
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-rt.quit:
+				return rt.QueryResult(id, h)
+			}
+		}
+	}
+	return rt.QueryResult(id, h)
+}

@@ -16,7 +16,10 @@ import (
 // examples have always used keeps working unchanged on top of the
 // multi-query Runtime (it previously lived in internal/sim; it moved here
 // when the runtime grew pluggable transports, because sim cannot import
-// node without a cycle).
+// node without a cycle). Its continuous face is stream.Live (that package
+// imports this one, so the entry point lives there): a §4.2 windowed
+// query runs over the same in-process engine, one engine sub-query per
+// window.
 type LiveNetwork struct {
 	rt *Runtime
 }

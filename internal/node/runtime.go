@@ -261,6 +261,13 @@ func New(cfg Config) (*Runtime, error) {
 // Graph returns the topology.
 func (rt *Runtime) Graph() *graph.Graph { return rt.g }
 
+// Hop returns the wall-clock realization of the per-hop delay bound δ.
+func (rt *Runtime) Hop() time.Duration { return rt.hop }
+
+// Values returns the per-host attribute values. The slice is the
+// runtime's own backing array: callers must treat it as read-only.
+func (rt *Runtime) Values() []int64 { return rt.values }
+
 // Local reports whether h is served by this runtime.
 func (rt *Runtime) Local(h graph.HostID) bool { return rt.local[h] }
 

@@ -33,6 +33,10 @@ const (
 	// tkCompact folds a retired query's counters into the bounded ring of
 	// summaries and drops its O(hosts) state.
 	tkCompact
+	// tkFunc runs an arbitrary scheduled closure (Runtime.After): the
+	// streaming subsystem opens its windows through these, so window
+	// cadence rides the same heap as every protocol timer.
+	tkFunc
 )
 
 // timerEntry is one scheduled firing.
@@ -44,6 +48,7 @@ type timerEntry struct {
 	qs    *queryState
 	tag   int
 	chain int
+	fn    func()
 }
 
 // timerHeap is a min-heap of entries by (when, seq).
@@ -169,7 +174,21 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 		rt.retire(e.qs)
 	case tkCompact:
 		rt.compact(e.qs)
+	case tkFunc:
+		// Own goroutine: the closure may block (StartQuery enqueues into
+		// host inboxes under back-pressure) and the loop must keep firing
+		// other hosts' timers on time.
+		go e.fn()
 	}
+}
+
+// After schedules fn to run d from now on the runtime's shared timer heap
+// — the same heap that drives protocol timers, departures, and query
+// retirement, so scheduled work needs no goroutine parked per deadline.
+// fn runs on its own goroutine and may block; a runtime that stops before
+// the entry fires drops it.
+func (rt *Runtime) After(d time.Duration, fn func()) {
+	rt.scheduleEntry(&timerEntry{when: time.Now().Add(d), kind: tkFunc, fn: fn})
 }
 
 // KillAt schedules Kill(h) at virtual tick `at` on the engine clock (which

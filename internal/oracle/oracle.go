@@ -75,6 +75,47 @@ func Compute(g *graph.Graph, values []int64, hq graph.HostID, sched churn.Schedu
 	return b
 }
 
+// ComputeInterval derives the bounds of one window [start, end] of a
+// continuous query (§4.2), given the stream's absolute failure schedule
+// as an Index. H_U is the set of hosts alive when the window opens —
+// without joins modeled, exactly the hosts alive at some instant of the
+// window — and H_C is the connected component of hq among hosts that
+// survive the entire window (fail strictly after end, or never). Every
+// window of a stream is judged against its own pair, which is what makes
+// the answer sequence Continuous Single-Site Valid rather than a one-time
+// bound stretched over a churning interval.
+func ComputeInterval(g *graph.Graph, values []int64, hq graph.HostID, ix *churn.Index, start, end sim.Time, kind agg.Kind) Bounds {
+	if len(values) != g.Len() {
+		panic(fmt.Sprintf("oracle: %d values for %d hosts", len(values), g.Len()))
+	}
+	survives := func(h graph.HostID) bool { return ix.Alive(h, end) }
+	hu := make([]graph.HostID, 0, g.Len())
+	for h := 0; h < g.Len(); h++ {
+		if ix.Alive(graph.HostID(h), start) {
+			hu = append(hu, graph.HostID(h))
+		}
+	}
+	var hc []graph.HostID
+	if survives(hq) {
+		hc = g.Component(hq, survives)
+	}
+	b := Bounds{HC: hc, HU: hu, Kind: kind}
+	b.LowerValue = agg.Exact(kind, gather(values, hc))
+	b.UpperValue = agg.Exact(kind, gather(values, hu))
+	return b
+}
+
+// FMSlack is the multiplicative tolerance granted to FM-estimated results
+// when judging them against the bounds: 1 + 4·(0.78/√c), four standard
+// errors of the Flajolet–Martin estimator at c repetitions. Min/max are
+// exact and get no slack.
+func FMSlack(kind agg.Kind, vectors int) float64 {
+	if !kind.DuplicateSensitive() {
+		return 1
+	}
+	return 1 + 4*0.78/math.Sqrt(float64(vectors))
+}
+
 func gather(values []int64, hosts []graph.HostID) []int64 {
 	out := make([]int64, len(hosts))
 	for i, h := range hosts {

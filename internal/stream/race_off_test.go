@@ -1,0 +1,9 @@
+//go:build !race
+
+package stream
+
+import "time"
+
+// testHop is the wall-clock δ used by the live streaming tests; the race
+// variant widens it under the detector's slowdown (race_on_test.go).
+const testHop = 5 * time.Millisecond

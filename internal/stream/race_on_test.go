@@ -1,0 +1,10 @@
+//go:build race
+
+package stream
+
+import "time"
+
+// testHop widens the wall-clock δ under the race detector's slowdown,
+// matching the discipline of internal/node's race_on_test.go: δ must stay
+// above the instrumented per-hop latency or deadline guards fire early.
+const testHop = 25 * time.Millisecond

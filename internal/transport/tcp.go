@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -45,6 +46,12 @@ type TCP struct {
 	DialTimeout  time.Duration
 	DialBudget   time.Duration
 	WriteTimeout time.Duration
+	// Failed dials retry with capped exponential backoff: the wait starts
+	// at DialBackoff, doubles per failure up to DialBackoffMax, and each
+	// sleep is jittered ±50% so a fleet booting in lockstep does not
+	// hammer a slow peer in synchronized waves.
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
 
 	mu        sync.Mutex
 	recv      map[graph.HostID]RecvFunc
@@ -69,16 +76,18 @@ type tcpConn struct {
 // created per distinct local address.
 func NewTCP(addrs []string) *TCP {
 	return &TCP{
-		addrs:        addrs,
-		DialTimeout:  500 * time.Millisecond,
-		DialBudget:   5 * time.Second,
-		WriteTimeout: 10 * time.Second,
-		recv:         make(map[graph.HostID]RecvFunc),
-		dead:         make(map[graph.HostID]bool),
-		listeners:    make(map[string]net.Listener),
-		conns:        make(map[string]*tcpConn),
-		dialing:      make(map[string]*sync.Mutex),
-		quit:         make(chan struct{}),
+		addrs:          addrs,
+		DialTimeout:    500 * time.Millisecond,
+		DialBudget:     5 * time.Second,
+		WriteTimeout:   10 * time.Second,
+		DialBackoff:    20 * time.Millisecond,
+		DialBackoffMax: 500 * time.Millisecond,
+		recv:           make(map[graph.HostID]RecvFunc),
+		dead:           make(map[graph.HostID]bool),
+		listeners:      make(map[string]net.Listener),
+		conns:          make(map[string]*tcpConn),
+		dialing:        make(map[string]*sync.Mutex),
+		quit:           make(chan struct{}),
 	}
 }
 
@@ -239,7 +248,11 @@ func (t *TCP) Send(msg Message) error {
 
 // conn returns the cached connection to addr, dialing with retry if none
 // exists. Dials to distinct addresses proceed in parallel; concurrent
-// senders to the same address share one dial.
+// senders to the same address share one dial attempt at a time through a
+// per-address single-flight lock. The lock is held only across one
+// attempt, never across a backoff sleep: a host-goroutine Send racing a
+// Warm that is backing off from a still-booting peer dials immediately
+// instead of waiting out the warmer's (possibly long) retry schedule.
 func (t *TCP) conn(addr string) (*tcpConn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[addr]; ok {
@@ -253,39 +266,79 @@ func (t *TCP) conn(addr string) (*tcpConn, error) {
 	}
 	t.mu.Unlock()
 
-	dmu.Lock()
-	defer dmu.Unlock()
-	t.mu.Lock()
-	if c, ok := t.conns[addr]; ok { // another sender won the dial
-		t.mu.Unlock()
-		return c, nil
-	}
-	t.mu.Unlock()
-
 	deadline := time.Now().Add(t.DialBudget)
+	backoff := t.DialBackoff
+	if backoff <= 0 {
+		backoff = 20 * time.Millisecond
+	}
 	for {
-		c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+		c, err := t.dialOnce(addr, dmu)
 		if err == nil {
-			tc := &tcpConn{c: c}
-			t.mu.Lock()
-			if t.closed {
-				t.mu.Unlock()
-				c.Close()
-				return nil, fmt.Errorf("transport: closed while dialing %s", addr)
-			}
-			t.conns[addr] = tc
-			t.mu.Unlock()
-			return tc, nil
+			return c, nil
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 		}
+		var wait time.Duration
+		wait, backoff = dialBackoff(backoff, t.DialBackoffMax, rand.Int63n)
 		select {
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(wait):
 		case <-t.quit:
 			return nil, fmt.Errorf("transport: closed while dialing %s", addr)
 		}
 	}
+}
+
+// dialOnce performs a single dial attempt to addr under the per-address
+// single-flight lock, re-checking the cache first (another sender may
+// have won while we waited for the lock or slept out a backoff).
+func (t *TCP) dialOnce(addr string, dmu *sync.Mutex) (*tcpConn, error) {
+	dmu.Lock()
+	defer dmu.Unlock()
+	t.mu.Lock()
+	if c, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	tc := &tcpConn{c: c}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("transport: closed while dialing %s", addr)
+	}
+	t.conns[addr] = tc
+	t.mu.Unlock()
+	return tc, nil
+}
+
+// dialBackoff returns the jittered wait before the next dial attempt and
+// the escalated backoff for the attempt after it: capped exponential with
+// ±50% jitter. A peer that is still booting is retried quickly at first,
+// then ever more gently, and concurrent processes desynchronize instead
+// of re-dialing a slow peer in lockstep waves. rnd is rand.Int63n
+// (injected for deterministic tests).
+func dialBackoff(cur, max time.Duration, rnd func(int64) int64) (wait, next time.Duration) {
+	if cur <= 0 {
+		cur = 20 * time.Millisecond
+	}
+	if max > 0 && cur > max {
+		cur = max // a starting backoff above the cap still honors the cap
+	}
+	wait = cur/2 + time.Duration(rnd(int64(cur)))
+	next = cur
+	if max > 0 && cur < max {
+		next = 2 * cur
+		if next > max {
+			next = max
+		}
+	}
+	return wait, next
 }
 
 func (t *TCP) dropConn(addr string, c *tcpConn) {
@@ -299,10 +352,11 @@ func (t *TCP) dropConn(addr string, c *tcpConn) {
 
 // Warm implements Warmer: every distinct remote address is dialed in the
 // background so the connection cache is hot before the first query's
-// frames need it. Dials share the per-address single-flight locks with
-// Send, so a send racing a warm-up blocks briefly on the same dial rather
-// than opening a duplicate connection. Failures are ignored — a peer that
-// is still booting will be dialed again lazily on first send.
+// frames need it. Dial attempts share the per-address single-flight locks
+// with Send, so a send racing a warm-up blocks on one attempt at most —
+// never on the warmer's backoff sleeps — and duplicate connections are
+// not opened. Failures are ignored — a peer that is still booting will be
+// dialed again lazily on first send.
 func (t *TCP) Warm() {
 	t.mu.Lock()
 	local := make(map[string]bool, len(t.recv))

@@ -279,6 +279,134 @@ func TestTCPDialRetryToleratesLateListener(t *testing.T) {
 	cb.waitFor(t, 1, 2*time.Second)
 }
 
+// TestTCPDialBackoffSchedule pins the reconnect policy: waits are jittered
+// within [cur/2, 3·cur/2), the backoff doubles per failure, and it never
+// exceeds the cap. Deterministic rnd stubs make the bounds exact.
+func TestTCPDialBackoffSchedule(t *testing.T) {
+	const max = 160 * time.Millisecond
+	low := func(int64) int64 { return 0 }
+	cur := 20 * time.Millisecond
+	var wantNext = []time.Duration{40, 80, 160, 160, 160} // ms, capped
+	for i, wn := range wantNext {
+		wait, next := dialBackoff(cur, max, low)
+		if wait != cur/2 {
+			t.Fatalf("step %d: zero-jitter wait = %v, want %v", i, wait, cur/2)
+		}
+		if next != wn*time.Millisecond {
+			t.Fatalf("step %d: next backoff = %v, want %v", i, next, wn*time.Millisecond)
+		}
+		cur = next
+	}
+	// Maximum jitter: wait approaches 3·cur/2 but never reaches it.
+	high := func(n int64) int64 { return n - 1 }
+	wait, _ := dialBackoff(40*time.Millisecond, max, high)
+	if wait < 40*time.Millisecond || wait >= 60*time.Millisecond {
+		t.Fatalf("max-jitter wait %v outside [cur, 3·cur/2)", wait)
+	}
+	// A zero current backoff falls back to the default instead of spinning.
+	wait, next := dialBackoff(0, max, low)
+	if wait <= 0 || next <= 0 {
+		t.Fatalf("degenerate backoff: wait=%v next=%v", wait, next)
+	}
+	// Unlimited cap (0) keeps the current backoff: no runaway doubling
+	// without an explicit ceiling.
+	if _, next := dialBackoff(80*time.Millisecond, 0, low); next != 80*time.Millisecond {
+		t.Fatalf("uncapped backoff escalated to %v", next)
+	}
+	// A starting backoff above the cap is clamped down to it, both for
+	// the wait and for every retry after.
+	wait, next = dialBackoff(time.Second, max, low)
+	if wait != max/2 || next != max {
+		t.Fatalf("over-cap backoff not clamped: wait=%v next=%v, want %v/%v", wait, next, max/2, max)
+	}
+}
+
+// TestTCPSendNotBlockedByWarmBackoff pins the single-flight granularity:
+// a Warm retrying a still-booting peer escalates to long backoff sleeps,
+// and a Send issued the moment the peer finally appears must dial
+// immediately instead of waiting out the warmer's schedule (the
+// regression crippled a cold fleet's first query: its convergecast
+// replies sat behind a 500ms warm sleep while the 2D̂δ deadline expired).
+func TestTCPSendNotBlockedByWarmBackoff(t *testing.T) {
+	ports := freeAddrs(t, 2)
+	addrs := []string{ports[0], ports[1]}
+	a := NewTCP(addrs)
+	// Pathological backoff makes the stall unmistakable if Send ever
+	// shares the warmer's sleep.
+	a.DialBackoff = 2 * time.Second
+	a.DialBackoffMax = 2 * time.Second
+	a.DialBudget = 30 * time.Second
+	if err := a.Bind(0, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Warm() // peer 1 is down: the warm dial fails and enters its backoff
+
+	time.Sleep(100 * time.Millisecond) // let the first warm attempt fail
+
+	var cb collector
+	b := NewTCP(addrs)
+	if err := b.Bind(1, cb.recv); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	start := time.Now()
+	if err := a.Send(Message{From: 0, To: 1, Payload: "now"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("send stalled %v behind the warmer's backoff sleep", elapsed)
+	}
+	cb.waitFor(t, 1, 2*time.Second)
+}
+
+// TestTCPBackoffSurvivesLongOutage covers a peer that comes up well after
+// the first dial wave: the sender's capped exponential backoff must keep
+// retrying across several doublings (20→40→80→160…ms) and deliver once
+// the listener finally appears.
+func TestTCPBackoffSurvivesLongOutage(t *testing.T) {
+	ports := freeAddrs(t, 2)
+	addrs := []string{ports[0], ports[1]}
+	a := NewTCP(addrs)
+	if err := a.Bind(0, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var cb collector
+	b := NewTCP(addrs)
+	if err := b.Bind(1, cb.recv); err != nil {
+		t.Fatal(err)
+	}
+
+	const outage = 600 * time.Millisecond
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.Send(Message{From: 0, To: 1, Payload: "patient"}) }()
+	time.Sleep(outage)
+	if err := b.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := <-errCh; err != nil {
+		t.Fatalf("send did not survive %v outage: %v", outage, err)
+	}
+	if elapsed := time.Since(start); elapsed < outage {
+		t.Fatalf("send returned after %v, before the peer existed", elapsed)
+	}
+	cb.waitFor(t, 1, 2*time.Second)
+}
+
 func TestGraphHostIDWireStability(t *testing.T) {
 	// HostID is int32; the wire must not silently truncate.
 	tr := NewChannel(1, 0)

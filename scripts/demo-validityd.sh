@@ -9,10 +9,18 @@
 # The -churn grammar (ticks are δ units on each query's own clock):
 #   -churn rate=R[,window=W]                 R hosts leave uniformly over [0,W]
 #   -churn model=sessions,mean=M[,window=W]  exponential lifetimes, mean M
+#   -churn trace=FILE                        recorded host,tick CSV departures
 # -kill host@tick,... names explicit departures, also per query. Workers
 # regenerate every query's schedule from the shared seed and the query id
 # alone, so the same flags are handed to every process and no churn
 # coordination crosses the wire.
+#
+# The second act streams a continuous §4.2 query over its own fleet:
+# -continuous -windows N -window W turns the one query into N windowed
+# sub-queries, one line per window against that window's own H_C/H_U
+# bounds. Churn moves to the stream's absolute clock; workers are handed
+# the same flags and materialize each window on first contact — no window
+# coordination crosses the wire either.
 set -e
 
 BIN=${BIN:-$(mktemp -d)/validityd}
@@ -34,3 +42,26 @@ sleep 1 # let the workers bind their listeners
 
 # The same churned stream fully in process via the channel transport:
 "$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count,min -hq 0,7 -hop 5ms $CHURN -query -queries 4 -concurrency 2
+
+kill $W1 $W2 2>/dev/null || true
+wait $W1 $W2 2>/dev/null || true
+
+# Act two — continuous §4.2 streaming over a fresh three-process fleet:
+# one COUNT query, 5 windows of 24 ticks, 12 departures spread across the
+# whole 120-tick run. Every process gets the identical flags; the workers
+# serve windows exactly as they serve one-shot queries.
+PEERS2="0-19=127.0.0.1:7111,20-39=127.0.0.1:7112,40-59=127.0.0.1:7113"
+STREAM="-continuous -windows 5 -window 24 -churn rate=12 -kill 29@4"
+COMMON2="-transport tcp -topology random -hosts 60 -seed 23 -peers $PEERS2 -agg count -hq 0 -dhat 12 -hop 5ms $STREAM"
+
+"$BIN" $COMMON2 -serve 20-39 &
+W1=$!
+"$BIN" $COMMON2 -serve 40-59 &
+W2=$!
+trap 'kill $W1 $W2 2>/dev/null || true' EXIT
+
+sleep 1 # let the workers bind their listeners
+"$BIN" $COMMON2 -serve 0-19 -query
+
+# The same continuous stream fully in process via the channel transport:
+"$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count -hq 0 -hop 5ms $STREAM -query
