@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci fmt fmt-check demo bench
+.PHONY: all build vet test race ci fmt fmt-check demo bench benchdiff
 
 all: ci
 
@@ -41,8 +41,15 @@ demo: build
 	./scripts/demo-validityd.sh
 
 # bench measures engine throughput at a fixed fleet size — one-shot
-# queries/sec and continuous windows/sec — both on a static network and
-# at churn rate R>0 (the paper's regime), and writes BENCH_engine.json so
-# the perf trajectory tracks dynamism.
+# queries/sec and continuous windows/sec — on a static network, at churn
+# rate R>0 (the paper's regime), and under session churn with rebirth
+# (arrivals as well as departures), and writes BENCH_engine.json so the
+# perf trajectory tracks dynamism.
 bench:
 	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test ./internal/daemon -run TestBenchEngine -count=1 -v
+
+# benchdiff runs the engine benchmark and diffs it against the committed
+# BENCH_engine.json, flagging throughput drops beyond BENCHDIFF_PCT
+# (default 20%) so perf regressions show up in review.
+benchdiff:
+	./scripts/benchdiff.sh

@@ -16,19 +16,26 @@
 // q(H_C)/q(H_U) bounds, then a throughput summary closes the stream.
 //
 // Dynamism — the paper's defining condition — is per query and needs no
-// coordination: every process derives each query's failure schedule from
-// the shared seed and the query id alone, enforces it on the hosts it
-// serves (a host is dead *for a query* once that query's schedule says
-// so, while still answering every other query), and the issuing process
+// coordination: every process derives each query's membership timeline —
+// departures AND joins — from the shared seed and the query id alone,
+// enforces it on the hosts it serves (a host is dead *for a query* once
+// that query's timeline says so, while still answering every other
+// query, and comes back when a join tick fires), and the issuing process
 // judges each result against the oracle bounds of that query's own
-// timeline. Two flags control it, with all times in ticks of δ on each
+// timeline — H_U exceeds the initial host set when hosts arrive
+// mid-query. Two flags control it, with all times in ticks of δ on each
 // query's own clock:
 //
-//	-kill host@tick,host@tick            explicit departures (§3.2)
+//	-kill host@tick,+host@tick           explicit departures (§3.2) and
+//	                                     joins ("+": absent until arrival)
 //	-churn rate=R[,window=W]             R hosts leave uniformly over [0,W]
 //	                                     (window defaults to the deadline)
-//	-churn model=sessions,mean=M[,window=W]
-//	                                     exponential lifetimes, mean M ticks
+//	-churn model=sessions,mean=M[,join=D][,window=W]
+//	                                     exponential lifetimes, mean M ticks;
+//	                                     join=D rebirths departed hosts after
+//	                                     exp downtimes of mean D ticks
+//	-churn model=burst,hosts=A-B,at=T    hosts A..B leave together at tick T
+//	-churn trace=FILE                    recorded host,tick[,event] CSV
 //
 // Eight overlapping COUNT/MIN queries over a three-process 60-host fleet
 // on loopback, six distinct hosts churning out of each query's timeline:

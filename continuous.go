@@ -99,14 +99,14 @@ func (n *Network) ContinuousQuery(cfg ContinuousConfig) ([]WindowResult, error) 
 		winLen = sim.Time(2 * dHat)
 	}
 
-	var sched churn.Schedule
+	var sched churn.Timeline
 	switch {
 	case cfg.Schedule != nil:
 		for _, f := range cfg.Schedule {
 			if f.H < 0 || f.H >= n.g.Len() {
 				return nil, fmt.Errorf("validity: failure host %d outside network", f.H)
 			}
-			sched = append(sched, churn.Failure{H: graph.HostID(f.H), T: sim.Time(f.T)})
+			sched = append(sched, eventOf(f))
 		}
 	case cfg.Failures > 0:
 		if cfg.Failures >= n.g.Len() {

@@ -1,21 +1,25 @@
 // Package churn is the membership layer: the one subsystem every
 // execution layer consults for who is part of the network when. The
-// deterministic event loop (internal/sim) applies a Schedule to its event
+// deterministic event loop (internal/sim) applies a Timeline to its event
 // queue, the live engine (internal/node) enforces one per query on each
 // query's own clock, and the oracle (internal/oracle) reads the same
-// schedule to bound what a valid answer may be — three consumers, one
+// timeline to bound what a valid answer may be — three consumers, one
 // source of dynamism.
 //
-// The primary model (§6.2) removes R randomly selected hosts from G at a
-// uniform rate over an interval [t0, tn]; host joins are not modeled
-// because hosts that join after the query starts may or may not contribute
-// to a valid result (H_C is the interesting bound). As an extension the
-// package also provides a session-based model with exponentially
+// Membership is an event timeline: hosts *leave* (§3.2) and *join*. The
+// paper's validity semantics (§3–§4) are defined over networks where both
+// happen — H_U is the union of all hosts present at some instant of the
+// computation, so arrivals can push it past the initial host set, while
+// H_C shrinks to the hosts continuously present (joiners never qualify;
+// hosts that leave and return do not either). The primary experimental
+// model (§6.2) removes R randomly selected hosts from G at a uniform rate
+// over an interval [t0, tn]; the session-based model draws exponentially
 // distributed host lifetimes (the median-60-minutes Gnutella sessions of
-// footnote 1) for the continuous-query experiments of §5.4. Both are
-// available behind the Source interface, which derives per-query schedules
-// deterministically from a seed so every process of a fleet regenerates
-// identical membership timelines without coordination.
+// footnote 1) and, with a rebirth mean, exponentially distributed
+// downtimes after which departed hosts rejoin. All models sit behind the
+// Source interface, which derives per-query timelines deterministically
+// from a seed so every process of a fleet regenerates identical
+// membership timelines without coordination.
 package churn
 
 import (
@@ -23,56 +27,112 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 
 	"validity/internal/graph"
 	"validity/internal/sim"
 )
 
-// Failure schedules host H to leave the network at time T.
-type Failure struct {
-	H graph.HostID
-	T sim.Time
-}
+// EventKind says what a membership event does to its host.
+type EventKind uint8
 
-// Schedule is a set of failures ordered by time.
-type Schedule []Failure
+const (
+	// Leave removes the host from the network at the event's tick (§3.2):
+	// it processes nothing more and its traffic silently stops.
+	Leave EventKind = iota
+	// Join adds the host at the event's tick. A host whose first event is
+	// a Join is a late joiner — absent from tick 0 until it arrives; a
+	// Join after a Leave is a rebirth (the session model's rejoin).
+	Join
+)
 
-// Apply installs every failure on the network.
-func (s Schedule) Apply(nw *sim.Network) {
-	for _, f := range s {
-		nw.FailAt(f.H, f.T)
+func (k EventKind) String() string {
+	switch k {
+	case Leave:
+		return "leave"
+	case Join:
+		return "join"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
 }
 
-// Failed returns the set of hosts that fail at or before t. It scans the
-// whole schedule; callers probing liveness in a loop should build an
-// Index once instead.
-func (s Schedule) Failed(t sim.Time) map[graph.HostID]bool {
+// Event is one membership transition: host H leaves or joins at tick T.
+// The zero Kind is Leave, so departure-only literals written against the
+// old Failure type ({H: h, T: t}) keep their meaning unchanged.
+type Event struct {
+	H    graph.HostID
+	T    sim.Time
+	Kind EventKind
+}
+
+// Failure is the departures-only name for Event, kept so existing
+// schedules read naturally: a Failure is an Event whose zero Kind is
+// Leave.
+type Failure = Event
+
+// Timeline is a set of membership events ordered by time. It replaces
+// the departures-only Schedule; a Timeline holding only Leave events is
+// exactly the old Schedule.
+type Timeline []Event
+
+// Schedule is the departures-only name for Timeline, kept for call sites
+// that only ever schedule departures.
+type Schedule = Timeline
+
+// Apply installs every event on the network: leaves as scheduled
+// failures, joins as scheduled arrivals. Hosts whose first event is a
+// Join are marked initially dead so their Start runs at join time, not at
+// tick 0.
+func (tl Timeline) Apply(nw *sim.Network) {
+	ix := tl.Index()
+	for _, h := range ix.Hosts() {
+		if !ix.InitialMember(h) {
+			nw.SetInitiallyDead(h)
+		}
+	}
+	for _, e := range tl {
+		if e.Kind == Join {
+			nw.JoinAt(e.H, e.T)
+		} else {
+			nw.FailAt(e.H, e.T)
+		}
+	}
+}
+
+// Failed returns the set of hosts whose first departure is at or before
+// t. It scans the whole timeline; callers probing liveness in a loop
+// should build an Index once instead (and, with joins in play, ask
+// AliveAt — a departed host may have returned).
+func (tl Timeline) Failed(t sim.Time) map[graph.HostID]bool {
 	m := make(map[graph.HostID]bool)
-	for _, f := range s {
-		if f.T <= t {
-			m[f.H] = true
+	for _, e := range tl {
+		if e.Kind == Leave && e.T <= t {
+			m[e.H] = true
 		}
 	}
 	return m
 }
 
-// FailTime returns the failure time of h, or -1 if h never fails. It is
-// an O(n) scan; callers probing many hosts should build an Index once.
-func (s Schedule) FailTime(h graph.HostID) sim.Time {
-	for _, f := range s {
-		if f.H == h {
-			return f.T
+// FailTime returns the first departure time of h, or -1 if h never
+// leaves. It is an O(n) scan; callers probing many hosts should build an
+// Index once.
+func (tl Timeline) FailTime(h graph.HostID) sim.Time {
+	t := sim.Time(-1)
+	for _, e := range tl {
+		if e.H == h && e.Kind == Leave && (t < 0 || e.T < t) {
+			t = e.T
 		}
 	}
-	return -1
+	return t
 }
 
 // UniformRemoval selects R distinct hosts uniformly at random from the n
 // hosts (excluding `protect`, normally the querying host h_q) and spreads
 // their failure times at a uniform rate over [t0, tn] (§6.2). It panics if
 // R exceeds the number of removable hosts.
-func UniformRemoval(n, r int, protect graph.HostID, t0, tn sim.Time, rng *rand.Rand) Schedule {
+func UniformRemoval(n, r int, protect graph.HostID, t0, tn sim.Time, rng *rand.Rand) Timeline {
 	if tn < t0 {
 		panic(fmt.Sprintf("churn: tn %d < t0 %d", tn, t0))
 	}
@@ -88,7 +148,7 @@ func UniformRemoval(n, r int, protect graph.HostID, t0, tn sim.Time, rng *rand.R
 	rng.Shuffle(len(removable), func(i, j int) {
 		removable[i], removable[j] = removable[j], removable[i]
 	})
-	out := make(Schedule, r)
+	out := make(Timeline, r)
 	span := float64(tn - t0)
 	for i := 0; i < r; i++ {
 		// Uniform rate: failure i at t0 + (i+1)/(r+1) of the interval,
@@ -99,7 +159,7 @@ func UniformRemoval(n, r int, protect graph.HostID, t0, tn sim.Time, rng *rand.R
 		if t > tn {
 			t = tn
 		}
-		out[i] = Failure{H: removable[i], T: t}
+		out[i] = Event{H: removable[i], T: t}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
 	return out
@@ -110,12 +170,26 @@ func UniformRemoval(n, r int, protect graph.HostID, t0, tn sim.Time, rng *rand.R
 // host's departure at that time if it falls within [0, horizon]. Hosts
 // whose lifetime exceeds the horizon never fail. This models the memoryless
 // "every host has the same probability of leaving at each instant"
-// assumption of §5.4.
-func ExponentialSessions(n int, protect graph.HostID, mean float64, horizon sim.Time, rng *rand.Rand) Schedule {
+// assumption of §5.4. It is SessionTimeline without rebirth.
+func ExponentialSessions(n int, protect graph.HostID, mean float64, horizon sim.Time, rng *rand.Rand) Timeline {
+	return SessionTimeline(n, protect, mean, 0, horizon, rng)
+}
+
+// SessionTimeline is the session model with arrivals: every host except
+// protect alternates exponentially distributed uptimes (mean `mean`
+// ticks) and, when rejoin > 0, exponentially distributed downtimes (mean
+// `rejoin` ticks) after which it returns — the leave/join/leave session
+// cycles of a real P2P population. rejoin = 0 reproduces
+// ExponentialSessions exactly: one lifetime per host, departures only.
+// Events past the horizon are not emitted.
+func SessionTimeline(n int, protect graph.HostID, mean, rejoin float64, horizon sim.Time, rng *rand.Rand) Timeline {
 	if mean <= 0 {
 		panic("churn: mean lifetime must be positive")
 	}
-	var out Schedule
+	if rejoin < 0 {
+		panic("churn: rejoin mean must be non-negative")
+	}
+	var out Timeline
 	for h := 0; h < n; h++ {
 		if graph.HostID(h) == protect {
 			continue
@@ -125,10 +199,75 @@ func ExponentialSessions(n int, protect graph.HostID, mean float64, horizon sim.
 			continue
 		}
 		t := sim.Time(life)
-		if t <= horizon {
-			out = append(out, Failure{H: graph.HostID(h), T: t})
+		if t > horizon {
+			continue
+		}
+		out = append(out, Event{H: graph.HostID(h), T: t})
+		if rejoin <= 0 {
+			continue
+		}
+		// Rebirth: downtime, rejoin, a fresh lifetime, and so on until the
+		// horizon. Clock arithmetic stays in float ticks so short cycles
+		// do not collapse to zero-length sessions by truncation alone.
+		at := life
+		for {
+			at += rng.ExpFloat64() * rejoin
+			if at > math.MaxInt32 || sim.Time(at) > horizon {
+				break
+			}
+			out = append(out, Event{H: graph.HostID(h), T: sim.Time(at), Kind: Join})
+			at += rng.ExpFloat64() * mean
+			if at > math.MaxInt32 || sim.Time(at) > horizon {
+				break
+			}
+			out = append(out, Event{H: graph.HostID(h), T: sim.Time(at)})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
 	return out
+}
+
+// ParseEvents parses the operator event grammar into a Timeline over an
+// n-host network:
+//
+//	host@tick     the host leaves at the tick (§3.2)
+//	+host@tick    the host joins at the tick; with no earlier event of its
+//	              own, it is a late joiner — absent from tick 0 until then
+//
+// Entries are comma-separated; ticks are δ units on the consuming clock
+// (each query's own clock for one-shot queries, the stream's absolute
+// clock in continuous mode). This is validityd's -kill grammar.
+func ParseEvents(spec string, n int) (Timeline, error) {
+	var out Timeline
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind := Leave
+		if strings.HasPrefix(part, "+") {
+			kind = Join
+			part = strings.TrimSpace(part[1:])
+		}
+		i := strings.IndexByte(part, '@')
+		if i < 0 {
+			return nil, fmt.Errorf("churn: event entry %q is not host@tick or +host@tick", part)
+		}
+		h, err := strconv.Atoi(part[:i])
+		if err != nil {
+			return nil, fmt.Errorf("churn: event entry %q: %w", part, err)
+		}
+		t, err := strconv.Atoi(part[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("churn: event entry %q: %w", part, err)
+		}
+		if h < 0 || h >= n {
+			return nil, fmt.Errorf("churn: event host %d outside [0,%d)", h, n)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("churn: event tick %d is negative (ticks count from the clock's start)", t)
+		}
+		out = append(out, Event{H: graph.HostID(h), T: sim.Time(t), Kind: kind})
+	}
+	return out, nil
 }

@@ -12,49 +12,50 @@ import (
 )
 
 // Source is the membership layer's generator of dynamism: it derives a
-// failure schedule for one query deterministically from a seed. Equal
-// (seed, protect, horizon) arguments yield byte-identical schedules on
+// membership timeline for one query deterministically from a seed. Equal
+// (seed, protect, horizon) arguments yield byte-identical timelines on
 // every process, which is what lets a sharded fleet agree on which hosts
 // are dead for which query without exchanging a single coordination
 // message — the same regenerate-from-seed discipline the node engine uses
 // for topologies and FM coin tosses.
 //
-// Schedule times are ticks of δ on the consuming query's own clock: tick 0
+// Timeline times are ticks of δ on the consuming query's own clock: tick 0
 // is the instant the query's traffic first reaches a process. The
 // deterministic event loop consumes a Source by applying the derived
-// Schedule to a sim.Network (Schedule.Apply); the live engine consumes it
+// Timeline to a sim.Network (Timeline.Apply); the live engine consumes it
 // per query through node.QueryInstance.Churn.
 type Source interface {
-	// Schedule returns the failure schedule for one query. protect is the
-	// querying host h_q, which must never be scheduled (the paper's
+	// Schedule returns the membership timeline for one query. protect is
+	// the querying host h_q, which must never be scheduled (the paper's
 	// experiments protect it, §6.2); horizon is the query's deadline — no
-	// failure past it matters to the query, so none is emitted.
-	Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule
+	// event past it matters to the query, so none is emitted.
+	Schedule(seed int64, protect graph.HostID, horizon sim.Time) Timeline
 }
 
 // QuerySeed derives the churn seed of one query from the fleet's shared
 // seed. Same discipline as node.QuerySeed but a distinct mixing constant,
-// so a query's churn schedule and its protocol coin tosses are independent
+// so a query's churn timeline and its protocol coin tosses are independent
 // streams of the one shared seed.
 func QuerySeed(shared, id int64) int64 {
 	return shared ^ (id+1)*0x6A09E667F3BCC909
 }
 
-// Static is a fixed schedule that ignores the seed: the operator named the
-// failures explicitly (validityd's -kill flag). The same entries apply to
-// every query, each on its own clock — the per-query generalization of the
-// old engine-clock kill schedule.
-type Static Schedule
+// Static is a fixed timeline that ignores the seed: the operator named the
+// events explicitly (validityd's -kill flag, departures and +host@tick
+// joins alike). The same entries apply to every query, each on its own
+// clock — the per-query generalization of the old engine-clock kill
+// schedule.
+type Static Timeline
 
 // Schedule implements Source.
-func (s Static) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule {
-	out := make(Schedule, 0, len(s))
-	for _, f := range s {
-		if f.T <= horizon {
-			out = append(out, f)
+func (s Static) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Timeline {
+	out := make(Timeline, 0, len(s))
+	for _, e := range s {
+		if e.T <= horizon {
+			out = append(out, e)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
 	return out
 }
 
@@ -68,7 +69,7 @@ type Uniform struct {
 }
 
 // Schedule implements Source.
-func (u Uniform) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule {
+func (u Uniform) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Timeline {
 	win := u.Window
 	if win <= 0 || win > horizon {
 		win = horizon
@@ -78,30 +79,59 @@ func (u Uniform) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Sc
 
 // Sessions is the session-based model as a Source: every host draws an
 // exponentially distributed lifetime with the given mean (in ticks), the
-// footnote-1 Gnutella model of §5.4. Window bounds the emitted failures
-// (0 means the query's horizon).
+// footnote-1 Gnutella model of §5.4. A positive Rejoin mean adds rebirth:
+// departed hosts return after an exponentially distributed downtime and
+// draw a fresh lifetime, cycling sessions until the window closes — the
+// model under which populations grow as well as shrink. Window bounds the
+// emitted events (0 means the query's horizon).
 type Sessions struct {
 	N      int
 	Mean   float64
 	Window sim.Time
+	Rejoin float64
 }
 
 // Schedule implements Source.
-func (s Sessions) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule {
+func (s Sessions) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Timeline {
 	win := s.Window
 	if win <= 0 || win > horizon {
 		win = horizon
 	}
-	return ExponentialSessions(s.N, protect, s.Mean, win, rand.New(rand.NewSource(seed)))
+	return SessionTimeline(s.N, protect, s.Mean, s.Rejoin, win, rand.New(rand.NewSource(seed)))
 }
 
-// Merge concatenates schedules into one, ordered by time. Static kills
+// Burst is the correlated failure model: the contiguous host range
+// [From, To] leaves at one tick — a rack or subnet dropping off the
+// network at once, the failure mode independent per-host models cannot
+// produce. The seed is ignored (the range is the spec); protect survives
+// as always.
+type Burst struct {
+	From, To graph.HostID
+	At       sim.Time
+}
+
+// Schedule implements Source.
+func (b Burst) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Timeline {
+	if b.At > horizon {
+		return nil
+	}
+	var out Timeline
+	for h := b.From; h <= b.To; h++ {
+		if h == protect {
+			continue
+		}
+		out = append(out, Event{H: h, T: b.At})
+	}
+	return out
+}
+
+// Merge concatenates timelines into one, ordered by time. Static kills
 // plus a generated model compose this way (validityd's -kill and -churn
 // flags together).
-func Merge(scheds ...Schedule) Schedule {
-	var out Schedule
-	for _, s := range scheds {
-		out = append(out, s...)
+func Merge(tls ...Timeline) Timeline {
+	var out Timeline
+	for _, tl := range tls {
+		out = append(out, tl...)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
 	return out
@@ -110,9 +140,12 @@ func Merge(scheds ...Schedule) Schedule {
 // ParseSource parses the -churn flag grammar into a Source over an n-host
 // network:
 //
-//	rate=R[,window=W]                  R hosts leave uniformly over [0,W]
-//	model=sessions,mean=M[,window=W]   exponential lifetimes, mean M ticks
-//	trace=FILE                         recorded host,tick CSV (ParseTrace)
+//	rate=R[,window=W]                          R hosts leave uniformly over [0,W]
+//	model=sessions,mean=M[,join=D][,window=W]  exponential lifetimes, mean M;
+//	                                           join=D adds rebirth after
+//	                                           exp-distributed downtimes, mean D
+//	model=burst,hosts=A-B,at=T                 hosts A..B leave together at tick T
+//	trace=FILE                                 recorded host,tick[,event] CSV (ParseTrace)
 //
 // All times are ticks of δ on each query's own clock (the stream's
 // absolute clock for continuous queries); window defaults to the query
@@ -128,7 +161,11 @@ func ParseSource(spec string, n int) (Source, error) {
 		rate     = -1
 		window   sim.Time
 		mean     float64
+		rejoin   float64
 		trace    string
+		hostsLo  = -1
+		hostsHi  = -1
+		at       = sim.Time(-1)
 	)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -162,26 +199,61 @@ func ParseSource(spec string, n int) (Source, error) {
 				return nil, fmt.Errorf("churn: mean %q must be a positive tick count", val)
 			}
 			mean = m
+		case "join":
+			d, err := strconv.ParseFloat(val, 64)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("churn: join %q must be a positive mean downtime in ticks", val)
+			}
+			rejoin = d
+		case "hosts":
+			j := strings.IndexByte(val, '-')
+			if j < 0 {
+				return nil, fmt.Errorf("churn: hosts %q must be a range A-B", val)
+			}
+			lo, err := strconv.Atoi(strings.TrimSpace(val[:j]))
+			if err != nil {
+				return nil, fmt.Errorf("churn: hosts range %q: %w", val, err)
+			}
+			hi, err := strconv.Atoi(strings.TrimSpace(val[j+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("churn: hosts range %q: %w", val, err)
+			}
+			if lo > hi || lo < 0 || hi >= n {
+				return nil, fmt.Errorf("churn: hosts range %q outside [0,%d)", val, n)
+			}
+			hostsLo, hostsHi = lo, hi
+		case "at":
+			a, err := strconv.Atoi(val)
+			if err != nil || a < 0 {
+				return nil, fmt.Errorf("churn: at %q must be a non-negative tick", val)
+			}
+			at = sim.Time(a)
 		case "trace":
 			if val == "" {
 				return nil, fmt.Errorf("churn: trace needs a file path")
 			}
 			trace = val
 		default:
-			return nil, fmt.Errorf("churn: unknown spec key %q (want rate, window, model, mean, trace)", key)
+			return nil, fmt.Errorf("churn: unknown spec key %q (want rate, window, model, mean, join, hosts, at, trace)", key)
 		}
 	}
 	if trace != "" {
-		// A recorded trace IS the schedule; generator knobs make no sense
+		// A recorded trace IS the timeline; generator knobs make no sense
 		// alongside it.
-		if modelSet || rate >= 0 || mean > 0 || window != 0 {
-			return nil, fmt.Errorf("churn: trace=FILE cannot be combined with rate, mean, model, or window")
+		if modelSet || rate >= 0 || mean > 0 || rejoin > 0 || window != 0 || hostsLo >= 0 || at >= 0 {
+			return nil, fmt.Errorf("churn: trace=FILE cannot be combined with rate, mean, join, model, hosts, at, or window")
 		}
-		sched, err := LoadTrace(trace, n)
+		tl, err := LoadTrace(trace, n)
 		if err != nil {
 			return nil, err
 		}
-		return Trace(sched), nil
+		return Trace(tl), nil
+	}
+	if model != "burst" && (hostsLo >= 0 || at >= 0) {
+		return nil, fmt.Errorf("churn: hosts and at apply to model=burst")
+	}
+	if model != "sessions" && rejoin > 0 {
+		return nil, fmt.Errorf("churn: join applies to model=sessions")
 	}
 	switch model {
 	case "uniform":
@@ -205,8 +277,24 @@ func ParseSource(spec string, n int) (Source, error) {
 		if rate >= 0 {
 			return nil, fmt.Errorf("churn: rate applies to model=uniform, not sessions")
 		}
-		return Sessions{N: n, Mean: mean, Window: window}, nil
+		return Sessions{N: n, Mean: mean, Window: window, Rejoin: rejoin}, nil
+	case "burst":
+		if rate >= 0 || mean > 0 {
+			return nil, fmt.Errorf("churn: rate and mean do not apply to model=burst")
+		}
+		if window != 0 {
+			return nil, fmt.Errorf("churn: window does not apply to model=burst (use at=T)")
+		}
+		if hostsLo < 0 {
+			return nil, fmt.Errorf("churn: model=burst needs hosts=A-B")
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("churn: model=burst needs at=T")
+		}
+		// A burst over the whole range is fine: Schedule always spares the
+		// protected querying host, so at least h_q survives.
+		return Burst{From: graph.HostID(hostsLo), To: graph.HostID(hostsHi), At: at}, nil
 	default:
-		return nil, fmt.Errorf("churn: unknown model %q (want uniform or sessions)", model)
+		return nil, fmt.Errorf("churn: unknown model %q (want uniform, sessions, or burst)", model)
 	}
 }

@@ -13,19 +13,22 @@ import (
 	"validity/internal/sim"
 )
 
-// ParseTrace reads a recorded membership trace — the departure log of a
-// real P2P session capture — into a Schedule. The format is host,tick
-// CSV: one departure per line, host a 0-based id within the n-host
-// network, tick a non-negative time in δ units. Blank lines and
-// #-comments are skipped, and an optional "host,tick" header line is
-// tolerated so exported spreadsheets load unedited. The resulting
-// schedule is consumed through the Trace source: identical for every
-// query in one-shot mode, absolute stream time in continuous mode, the
-// querying host always dropped — and because every process reads the
-// same file, the no-coordination discipline of generated schedules
-// carries over.
-func ParseTrace(r io.Reader, n int) (Schedule, error) {
-	var out Schedule
+// ParseTrace reads a recorded membership trace — the session log of a
+// real P2P capture — into a Timeline. The format is host,tick[,event]
+// CSV: one event per line, host a 0-based id within the n-host network,
+// tick a non-negative time in δ units, and the optional third column
+// "leave" (the default) or "join". A host whose first recorded event is
+// a join is a late joiner, absent until it arrives; a join after a leave
+// is the same peer returning for another session. Blank lines and
+// #-comments are skipped, and an optional "host,tick" or
+// "host,tick,event" header line is tolerated so exported spreadsheets
+// load unedited. The resulting timeline is consumed through the Trace
+// source: identical for every query in one-shot mode, absolute stream
+// time in continuous mode, the querying host always dropped — and
+// because every process reads the same file, the no-coordination
+// discipline of generated timelines carries over.
+func ParseTrace(r io.Reader, n int) (Timeline, error) {
+	var out Timeline
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	first := true // header tolerated on the first content line, wherever it sits
@@ -35,22 +38,22 @@ func ParseTrace(r io.Reader, n int) (Schedule, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if first && strings.EqualFold(line, "host,tick") {
+		if first && (strings.EqualFold(line, "host,tick") || strings.EqualFold(line, "host,tick,event")) {
 			first = false
 			continue // header row
 		}
 		first = false
-		i := strings.IndexByte(line, ',')
-		if i < 0 {
-			return nil, fmt.Errorf("churn: trace line %d: %q is not host,tick", lineNo, line)
+		fields := strings.SplitN(line, ",", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("churn: trace line %d: %q is not host,tick[,event]", lineNo, line)
 		}
-		h, err := strconv.Atoi(strings.TrimSpace(line[:i]))
+		h, err := strconv.Atoi(strings.TrimSpace(fields[0]))
 		if err != nil {
-			return nil, fmt.Errorf("churn: trace line %d: host %q: %w", lineNo, line[:i], err)
+			return nil, fmt.Errorf("churn: trace line %d: host %q: %w", lineNo, fields[0], err)
 		}
-		t, err := strconv.Atoi(strings.TrimSpace(line[i+1:]))
+		t, err := strconv.Atoi(strings.TrimSpace(fields[1]))
 		if err != nil {
-			return nil, fmt.Errorf("churn: trace line %d: tick %q: %w", lineNo, line[i+1:], err)
+			return nil, fmt.Errorf("churn: trace line %d: tick %q: %w", lineNo, fields[1], err)
 		}
 		if h < 0 || h >= n {
 			return nil, fmt.Errorf("churn: trace line %d: host %d outside [0,%d)", lineNo, h, n)
@@ -58,7 +61,18 @@ func ParseTrace(r io.Reader, n int) (Schedule, error) {
 		if t < 0 {
 			return nil, fmt.Errorf("churn: trace line %d: negative tick %d", lineNo, t)
 		}
-		out = append(out, Failure{H: graph.HostID(h), T: sim.Time(t)})
+		kind := Leave
+		if len(fields) == 3 {
+			switch ev := strings.ToLower(strings.TrimSpace(fields[2])); ev {
+			case "leave", "":
+				kind = Leave
+			case "join":
+				kind = Join
+			default:
+				return nil, fmt.Errorf("churn: trace line %d: event %q (want leave or join)", lineNo, fields[2])
+			}
+		}
+		out = append(out, Event{H: graph.HostID(h), T: sim.Time(t), Kind: kind})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("churn: reading trace: %w", err)
@@ -66,21 +80,21 @@ func ParseTrace(r io.Reader, n int) (Schedule, error) {
 	return Merge(out), nil
 }
 
-// Trace is a recorded schedule as a Source. Like Static it ignores the
-// seed (the file is the schedule), but unlike operator-named -kill
+// Trace is a recorded timeline as a Source. Like Static it ignores the
+// seed (the file is the timeline), but unlike operator-named -kill
 // entries it honors the Source protect contract: the querying host is
 // dropped from the replayed trace, exactly as the generated models never
 // schedule it — a session log records the monitored population's churn,
 // and the monitor must outlive the query regardless of what the capture
 // says.
-type Trace Schedule
+type Trace Timeline
 
 // Schedule implements Source.
-func (tr Trace) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Schedule {
-	out := make(Schedule, 0, len(tr))
-	for _, f := range tr {
-		if f.H != protect && f.T <= horizon {
-			out = append(out, f)
+func (tr Trace) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Timeline {
+	out := make(Timeline, 0, len(tr))
+	for _, e := range tr {
+		if e.H != protect && e.T <= horizon {
+			out = append(out, e)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
@@ -89,15 +103,15 @@ func (tr Trace) Schedule(seed int64, protect graph.HostID, horizon sim.Time) Sch
 
 // LoadTrace is ParseTrace over a file path (the trace=FILE spec of
 // ParseSource).
-func LoadTrace(path string, n int) (Schedule, error) {
+func LoadTrace(path string, n int) (Timeline, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("churn: trace: %w", err)
 	}
 	defer f.Close()
-	sched, err := ParseTrace(f, n)
+	tl, err := ParseTrace(f, n)
 	if err != nil {
 		return nil, fmt.Errorf("churn: trace %s: %w", path, err)
 	}
-	return sched, nil
+	return tl, nil
 }

@@ -40,8 +40,9 @@ type Config struct {
 	WindowLen sim.Time
 	// Windows is the number of windows to run.
 	Windows int
-	// Schedule lists host failures in absolute time across the whole run.
-	Schedule churn.Schedule
+	// Schedule lists membership events — departures and joins — in
+	// absolute time across the whole run.
+	Schedule churn.Timeline
 	// Medium selects message accounting.
 	Medium sim.Medium
 	// Seed drives protocol randomness (per-window derived).
@@ -68,8 +69,12 @@ func (c *Config) validate() error {
 		return fmt.Errorf("continuous: window %d shorter than 2·D̂ = %d (§4.2 bound)",
 			c.WindowLen, 2*c.DHat)
 	}
-	if ft := c.Schedule.Index().FailTime(c.Hq); ft >= 0 {
+	ix := c.Schedule.Index()
+	if ft := ix.FailTime(c.Hq); ft >= 0 {
 		return fmt.Errorf("continuous: querying host %d scheduled to fail at %d", c.Hq, ft)
+	}
+	if !ix.InitialMember(c.Hq) {
+		return fmt.Errorf("continuous: querying host %d scheduled as a late joiner; it must be present for the whole run", c.Hq)
 	}
 	return nil
 }
@@ -108,10 +113,11 @@ func Run(cfg Config) ([]WindowResult, error) {
 		start := sim.Time(w) * cfg.WindowLen
 		end := start + cfg.WindowLen
 
-		aliveAtStart := func(h graph.HostID) bool { return ix.Alive(h, start) }
-
-		// Fresh per-window simulation: dead hosts removed up front,
-		// within-window failures applied at window-relative times.
+		// Fresh per-window simulation: hosts absent at the window's open
+		// removed up front, within-window membership transitions applied
+		// at window-relative times — departures as failures, arrivals as
+		// joins (a mid-window joiner participates from its join tick; a
+		// rebirth resumes the same host).
 		nw := sim.NewNetwork(sim.Config{
 			Graph:  cfg.Graph,
 			Medium: cfg.Medium,
@@ -121,13 +127,19 @@ func Run(cfg Config) ([]WindowResult, error) {
 		alive := 0
 		for h := 0; h < cfg.Graph.Len(); h++ {
 			id := graph.HostID(h)
-			switch {
-			case !aliveAtStart(id):
-				nw.SetInitiallyDead(id)
-			default:
+			if ix.AliveAt(id, start) {
 				alive++
-				if t := ix.FailTime(id); t > start && t <= end {
-					nw.FailAt(id, t-start)
+			} else {
+				nw.SetInitiallyDead(id)
+			}
+			for _, e := range ix.HostEvents(id) {
+				if e.T <= start || e.T > end {
+					continue // the window's opening state covers these
+				}
+				if e.Kind == churn.Join {
+					nw.JoinAt(id, e.T-start)
+				} else {
+					nw.FailAt(id, e.T-start)
 				}
 			}
 		}
@@ -140,9 +152,10 @@ func Run(cfg Config) ([]WindowResult, error) {
 		}
 
 		// Window-local oracle bounds: H_C is the stable component of h_q
-		// among hosts surviving the whole window; H_U is everyone alive at
-		// some instant of the window, i.e. alive at its start. The same
-		// computation judges the live engine's windows (internal/stream).
+		// among hosts present throughout the window; H_U is everyone who
+		// is a member at some instant of it — alive at its start or
+		// arriving before it closes. The same computation judges the live
+		// engine's windows (internal/stream).
 		b := oracle.ComputeInterval(cfg.Graph, cfg.Values, cfg.Hq, ix, start, end, cfg.Kind)
 		res := WindowResult{
 			Index:        w,

@@ -18,7 +18,7 @@ import (
 )
 
 var windowLineRe = regexp.MustCompile(
-	`validityd: q=(\d+) window=(\d+) span=\[(\d+),(\d+)\) agg=(\w+) hq=(\d+) result=([0-9.]+) lower=([0-9.]+) upper=([0-9.]+) slack=[0-9.]+ valid=(true|false) msgs=([0-9]+) bytes=([0-9]+) lat=([0-9]+)ms`)
+	`validityd: q=(\d+) window=(\d+) span=\[(\d+),(\d+)\) agg=(\w+) hq=(\d+) pop=(\d+) result=([0-9.]+) lower=([0-9.]+) upper=([0-9.]+) slack=[0-9.]+ valid=(true|false) msgs=([0-9]+) bytes=([0-9]+) lat=([0-9]+)ms`)
 
 // TestContinuousFlagsRejected extends the flag-validation contract to the
 // streaming mode.
@@ -82,7 +82,7 @@ func TestInProcessContinuousStream(t *testing.T) {
 		if w, _ := strconv.Atoi(m[2]); w != i {
 			t.Fatalf("window %s at position %d; windows must stream in order:\n%s", m[2], i, out.String())
 		}
-		if m[10] != "true" {
+		if m[11] != "true" {
 			t.Fatalf("window %s judged invalid:\n%s", m[2], out.String())
 		}
 	}
@@ -186,7 +186,7 @@ func TestContinuousTCPStream(t *testing.T) {
 		if w, _ := strconv.Atoi(m[2]); w != i {
 			t.Fatalf("window %s arrived at position %d; windows must stream in order:\n%s", m[2], i, out.String())
 		}
-		if m[10] != "true" {
+		if m[11] != "true" {
 			t.Fatalf("window %s judged invalid:\n%s", m[2], out.String())
 		}
 		wantStart, wantEnd := int64(i)*24, int64(i+1)*24
@@ -196,8 +196,8 @@ func TestContinuousTCPStream(t *testing.T) {
 		if e, _ := strconv.ParseInt(m[4], 10, 64); e != wantEnd {
 			t.Fatalf("window %d span ends at %d, want %d", i, e, wantEnd)
 		}
-		lo, _ := strconv.ParseFloat(m[8], 64)
-		hi, _ := strconv.ParseFloat(m[9], 64)
+		lo, _ := strconv.ParseFloat(m[9], 64)
+		hi, _ := strconv.ParseFloat(m[10], 64)
 		b, err := splan.Bounds(g, values, i)
 		if err != nil {
 			t.Fatal(err)
@@ -207,7 +207,7 @@ func TestContinuousTCPStream(t *testing.T) {
 			t.Fatalf("window %d bounds [%.2f, %.2f] do not match an independent recomputation [%.2f, %.2f]",
 				i, lo, hi, b.LowerValue, b.UpperValue)
 		}
-		if msgs, _ := strconv.ParseInt(m[11], 10, 64); msgs == 0 {
+		if msgs, _ := strconv.ParseInt(m[12], 10, 64); msgs == 0 {
 			t.Fatalf("window %d reports zero messages:\n%s", i, out.String())
 		}
 		uppers = append(uppers, hi)

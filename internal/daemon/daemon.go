@@ -12,12 +12,16 @@
 // comma-separated -agg and -hq lists — is derived from the query id and
 // the shared flags alone, so every process lazily instantiates an
 // identical protocol instance on first contact with a query's frames.
-// Dynamism is per query: -kill names explicit departures and -churn draws
-// them from a generated model (uniform removal, exponential sessions, or
-// a recorded trace=FILE), both in ticks of each query's own clock. Every
-// process derives every query's schedule from the shared seed and the
-// query id alone — workers enforce it locally, the issuer's oracle judges
-// against it, and no churn coordination ever crosses the wire. Each
+// Dynamism is per query: -kill names explicit membership events —
+// host@tick departures and +host@tick joins (late joiners absent until
+// they arrive, rebirths of hosts that left earlier) — and -churn draws
+// them from a generated model (uniform removal, exponential sessions
+// with optional join=D rebirth, a correlated burst, or a recorded
+// trace=FILE with an optional leave/join event column), all in ticks of
+// each query's own clock. Every process derives every query's timeline
+// from the shared seed and the query id alone — workers enforce it
+// locally, the issuer's oracle judges against it, and no churn
+// coordination ever crosses the wire. Each
 // query's declared result is read adaptively — at quiescence, with the
 // 2D̂δ deadline as the hard cap — and printed next to the oracle's
 // q(H_C) / q(H_U) bounds for its own membership timeline along with its
@@ -124,20 +128,25 @@ type Config struct {
 	// Hop is the wall-clock realization of the per-hop bound δ.
 	Hop time.Duration
 
-	// Kill schedules departures, "host@tick,host@tick", ticks on each
-	// query's own clock: every query of the stream sees the named hosts
-	// leave at the named ticks of its own timeline. Entries for hosts
-	// served here are enforced; all entries feed each query's oracle
-	// schedule, so every process can be handed the same flag.
+	// Kill schedules membership events, "host@tick,+host@tick", ticks on
+	// each query's own clock: every query of the stream sees the named
+	// hosts leave (bare entries, §3.2) or join ("+" entries — a host with
+	// no earlier event of its own is a late joiner, absent from tick 0
+	// until it arrives) at the named ticks of its own timeline. Entries
+	// for hosts served here are enforced; all entries feed each query's
+	// oracle timeline, so every process can be handed the same flag.
 	Kill string
 
 	// Churn selects a generated membership model applied per query
 	// (churn.ParseSource grammar): "rate=R[,window=W]" removes R hosts
 	// uniformly over [0,W] ticks of each query's clock (window defaults
-	// to the query deadline); "model=sessions,mean=M[,window=W]" draws
-	// exponential lifetimes with mean M ticks. Each query's schedule is
+	// to the query deadline); "model=sessions,mean=M[,join=D][,window=W]"
+	// draws exponential lifetimes with mean M ticks, and join=D adds
+	// rebirth — departed hosts return after exponential downtimes of mean
+	// D ticks; "model=burst,hosts=A-B,at=T" drops the contiguous range
+	// A..B at one tick (rack-loss style). Each query's timeline is
 	// derived from the shared seed and the query id alone, so workers
-	// regenerate identical schedules with no coordination messages.
+	// regenerate identical timelines with no coordination messages.
 	Churn string
 
 	// RunFor bounds a non-query process's lifetime (0 = serve forever).
@@ -169,8 +178,8 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.IntVar(&cfg.DHat, "dhat", 0, "stable-diameter overestimate D̂ (0 = diameter+2)")
 	fs.IntVar(&cfg.Vectors, "c", 64, "FM sketch repetitions for count/sum/avg")
 	fs.DurationVar(&cfg.Hop, "hop", 5*time.Millisecond, "wall-clock per-hop delay bound δ")
-	fs.StringVar(&cfg.Kill, "kill", "", "departure schedule host@tick,host@tick, per query on its own clock (§3.2)")
-	fs.StringVar(&cfg.Churn, "churn", "", "per-query churn model: rate=R[,window=W] or model=sessions,mean=M[,window=W] (ticks on each query's clock)")
+	fs.StringVar(&cfg.Kill, "kill", "", "membership events host@tick (leave, §3.2) and +host@tick (join), per query on its own clock")
+	fs.StringVar(&cfg.Churn, "churn", "", "per-query churn model: rate=R[,window=W], model=sessions,mean=M[,join=D][,window=W], model=burst,hosts=A-B,at=T, or trace=FILE (ticks on each query's clock)")
 	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = forever)")
 	return cfg
 }
@@ -352,57 +361,31 @@ func parsePeers(spec string, n int) ([]string, error) {
 	return addrs, nil
 }
 
-// killEntry is one parsed -kill item.
-type killEntry struct {
-	h graph.HostID
-	t sim.Time
-}
-
-func parseKills(spec string, n int) ([]killEntry, error) {
-	var out []killEntry
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		i := strings.IndexByte(part, '@')
-		if i < 0 {
-			return nil, fmt.Errorf("daemon: kill entry %q is not host@tick", part)
-		}
-		h, err := strconv.Atoi(part[:i])
-		if err != nil {
-			return nil, fmt.Errorf("daemon: kill entry %q: %w", part, err)
-		}
-		t, err := strconv.Atoi(part[i+1:])
-		if err != nil {
-			return nil, fmt.Errorf("daemon: kill entry %q: %w", part, err)
-		}
-		if h < 0 || h >= n {
-			return nil, fmt.Errorf("daemon: kill host %d outside [0,%d)", h, n)
-		}
-		if t < 0 {
-			return nil, fmt.Errorf("daemon: kill tick %d is negative (ticks count from each query's start)", t)
-		}
-		out = append(out, killEntry{h: graph.HostID(h), t: sim.Time(t)})
+// parseKills parses the -kill grammar — "host@tick" departures and
+// "+host@tick" joins — via the membership layer's event parser.
+func parseKills(spec string, n int) (churn.Timeline, error) {
+	tl, err := churn.ParseEvents(spec, n)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: -kill: %w", err)
 	}
-	return out, nil
+	return tl, nil
 }
 
 // churnPlan is the daemon's slice of the membership layer: the static
-// -kill entries plus the generated -churn Source, combined into one
-// failure schedule per query. A query's schedule depends only on the
-// shared flags, the shared seed, and the query id — every process of the
-// fleet regenerates the identical timeline, so the issuer's oracle judges
-// exactly the membership the workers enforce, with no churn coordination
-// messages on the wire.
+// -kill events (departures and joins) plus the generated -churn Source,
+// combined into one membership timeline per query. A query's timeline
+// depends only on the shared flags, the shared seed, and the query id —
+// every process of the fleet regenerates the identical timeline, so the
+// issuer's oracle judges exactly the membership the workers enforce,
+// with no churn coordination messages on the wire.
 type churnPlan struct {
 	seed   int64
-	static churn.Schedule
+	static churn.Timeline
 	src    churn.Source
 }
 
 func newChurnPlan(cfg *Config, n int) (*churnPlan, error) {
-	kills, err := parseKills(cfg.Kill, n)
+	static, err := parseKills(cfg.Kill, n)
 	if err != nil {
 		return nil, err
 	}
@@ -410,19 +393,16 @@ func newChurnPlan(cfg *Config, n int) (*churnPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	static := make(churn.Schedule, len(kills))
-	for i, k := range kills {
-		static[i] = churn.Failure{H: k.h, T: k.t}
-	}
 	return &churnPlan{seed: cfg.Seed, static: static, src: src}, nil
 }
 
 // active reports whether any dynamism is configured.
 func (p *churnPlan) active() bool { return len(p.static) > 0 || p.src != nil }
 
-// forQuery derives query id's failure schedule, in ticks of that query's
-// own clock, protecting its querying host from the generated model.
-func (p *churnPlan) forQuery(id node.QueryID, hq graph.HostID, deadline sim.Time) churn.Schedule {
+// forQuery derives query id's membership timeline, in ticks of that
+// query's own clock, protecting its querying host from the generated
+// model.
+func (p *churnPlan) forQuery(id node.QueryID, hq graph.HostID, deadline sim.Time) churn.Timeline {
 	sched := churn.Static(p.static).Schedule(0, hq, deadline)
 	if p.src != nil {
 		sched = churn.Merge(sched, p.src.Schedule(churn.QuerySeed(p.seed, int64(id)), hq, deadline))
@@ -481,6 +461,17 @@ func Run(cfg *Config) error {
 	plan, err := newChurnPlan(cfg, n)
 	if err != nil {
 		return err
+	}
+	// A query is issued AT h_q at time 0, so no querying host may be a
+	// late joiner of the static -kill timeline (generated models already
+	// protect h_q; continuous mode rejects any h_q event via the plan).
+	// Checked on every process — the flags are shared, so issuer and
+	// workers fail identically instead of hanging a query.
+	staticIx := plan.static.Index()
+	for _, hq := range hqs {
+		if !staticIx.InitialMember(hq) {
+			return fmt.Errorf("daemon: -kill schedules querying host %d as a late joiner; every -hq host must be present when its query is issued", hq)
+		}
 	}
 
 	var (
@@ -644,9 +635,12 @@ func runContinuous(cfg *Config, rt *node.Runtime, splan *stream.Plan, out io.Wri
 		}
 		totalMsgs += r.Stats.MessagesSent
 		totalBytes += r.Stats.BytesOnWire
+		// pop= is the window's own |H_U| — everyone who is a member at
+		// some instant of it — so a run with arrivals shows the
+		// population growing window over window, not just shrinking.
 		fmt.Fprintf(out,
-			"validityd: q=%d window=%d span=[%d,%d) agg=%s hq=%d result=%.2f lower=%.2f upper=%.2f slack=%.2f valid=%t msgs=%d bytes=%d lat=%dms\n",
-			splan.Query, r.Window, r.Start, r.End, splan.Spec.Kind, splan.Spec.Hq,
+			"validityd: q=%d window=%d span=[%d,%d) agg=%s hq=%d pop=%d result=%.2f lower=%.2f upper=%.2f slack=%.2f valid=%t msgs=%d bytes=%d lat=%dms\n",
+			splan.Query, r.Window, r.Start, r.End, splan.Spec.Kind, splan.Spec.Hq, r.HU,
 			r.Value, r.Lower, r.Upper, r.Slack, r.Valid,
 			r.Stats.MessagesSent, r.Stats.BytesOnWire, r.Latency.Milliseconds())
 	}

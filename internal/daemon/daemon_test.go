@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"testing"
 	"time"
+
+	"validity/internal/churn"
 )
 
 // The multi-process test re-execs this test binary as validityd worker
@@ -236,8 +238,14 @@ func TestParsePeersAndHostSets(t *testing.T) {
 	if _, err := parseKills("5@-1", 6); err == nil {
 		t.Fatal("negative kill tick accepted; the engine would never execute it while the oracle counts the host dead")
 	}
-	ks, err := parseKills("1@0, 2@7", 6)
-	if err != nil || len(ks) != 2 || ks[1].h != 2 || ks[1].t != 7 {
+	if _, err := parseKills("+5@-1", 6); err == nil {
+		t.Fatal("negative join tick accepted")
+	}
+	ks, err := parseKills("1@0, 2@7, +3@9", 6)
+	if err != nil || len(ks) != 3 || ks[1].H != 2 || ks[1].T != 7 {
 		t.Fatalf("parseKills = %v, %v", ks, err)
+	}
+	if ks[1].Kind != churn.Leave || ks[2].Kind != churn.Join || ks[2].H != 3 || ks[2].T != 9 {
+		t.Fatalf("parseKills event kinds wrong: %v", ks)
 	}
 }

@@ -31,6 +31,7 @@ func TestConflictingFlagsRejected(t *testing.T) {
 		{"tcp without peers", []string{"-transport", "tcp"}, "-peers"},
 		{"vectors beyond wire format", []string{"-query", "-c", "300"}, "-c"},
 		{"malformed churn spec", []string{"-query", "-churn", "bogus"}, "churn"},
+		{"late-joiner querying host", []string{"-query", "-hq", "0", "-kill", "+0@5"}, "late joiner"},
 		{"churn without survivors", []string{"-query", "-hosts", "60", "-churn", "rate=60"}, "churn"},
 		{"sessions churn without mean", []string{"-query", "-churn", "model=sessions"}, "churn"},
 	}
@@ -241,6 +242,14 @@ func TestBenchEngine(t *testing.T) {
 	staticQPS := runStream()
 	churnQPS := runStream("-churn", churnSpec)
 
+	// Join churn: session lifetimes with rebirth, so queries run over a
+	// population that shrinks AND grows — the arrivals regime the event
+	// timeline opened. Mean lifetime comfortably above the 24-tick
+	// deadline keeps most hosts up at any instant while still cycling
+	// sessions through every query.
+	joinSpec := "model=sessions,mean=60,join=20"
+	joinQPS := runStream("-churn", joinSpec)
+
 	// Continuous throughput: one windowed query streamed in process, static
 	// and churned, measured in windows/sec. Window length stays at the §4.2
 	// minimum 2·D̂ so the figure tracks the engine, not idle window tail.
@@ -268,6 +277,7 @@ func TestBenchEngine(t *testing.T) {
 	}
 	staticWPS := runContinuousStream()
 	churnWPS := runContinuousStream("-churn", "rate="+strconv.Itoa(churnRate))
+	joinWPS := runContinuousStream("-churn", joinSpec)
 
 	report := map[string]any{
 		"bench":                 "engine_query_stream",
@@ -278,9 +288,12 @@ func TestBenchEngine(t *testing.T) {
 		"queries_per_sec":       staticQPS,
 		"churn_spec":            churnSpec,
 		"queries_per_sec_churn": churnQPS,
+		"join_churn_spec":       joinSpec,
+		"queries_per_sec_join":  joinQPS,
 		"windows":               benchWindows,
 		"windows_per_sec":       staticWPS,
 		"windows_per_sec_churn": churnWPS,
+		"windows_per_sec_join":  joinWPS,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -289,6 +302,6 @@ func TestBenchEngine(t *testing.T) {
 	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("%.2f static / %.2f churned queries/sec, %.2f static / %.2f churned windows/sec over %d hosts -> %s",
-		staticQPS, churnQPS, staticWPS, churnWPS, hosts, outPath)
+	t.Logf("%.2f static / %.2f churned / %.2f join-churned queries/sec, %.2f static / %.2f churned / %.2f join-churned windows/sec over %d hosts -> %s",
+		staticQPS, churnQPS, joinQPS, staticWPS, churnWPS, joinWPS, hosts, outPath)
 }

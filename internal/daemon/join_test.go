@@ -1,0 +1,183 @@
+package daemon
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+
+	"validity/internal/agg"
+	"validity/internal/graph"
+	"validity/internal/node"
+	"validity/internal/oracle"
+	"validity/internal/topology"
+	"validity/internal/zipfval"
+)
+
+// TestConcurrentTCPJoinQueryStream is the acceptance demo of the join
+// half of the membership timeline: a three-process fleet on loopback
+// answers a concurrent query stream while host 45 — served by a worker —
+// is a late joiner, absent from every query's tick 0 until it arrives at
+// tick 6 of that query's own clock (-kill +45@6). Every printed bound
+// pair must match the oracle bounds this process recomputes from the
+// shared flags alone, and those bounds must show |H_U| strictly above
+// the initial host count: the population grew mid-query, the state the
+// departures-only membership layer could never reach.
+func TestConcurrentTCPJoinQueryStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and sleeps out wall-clock query deadlines")
+	}
+	ports := freeAddrs(t, 3)
+	peers := fmt.Sprintf("0-19=%s,20-39=%s,40-59=%s", ports[0], ports[1], ports[2])
+	common := []string{
+		"-transport", "tcp",
+		"-topology", "random", "-hosts", "60", "-seed", "23",
+		"-peers", peers,
+		"-agg", "count,min",
+		"-hq", "0,7",
+		"-dhat", "12",
+		// One departure plus one arrival, per query on its own clock: host
+		// 29 leaves at tick 4, host 45 joins at tick 6 (it is absent from
+		// tick 0 — a late joiner on a worker shard).
+		"-kill", "29@4,+45@6",
+		"-hop", testHop.String(),
+	}
+
+	for _, serve := range []string{"20-39", "40-59"} {
+		args := append(append([]string{}, common...), "-serve", serve)
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "VALIDITYD_CHILD_ARGS="+joinArgs(args))
+		var childOut bytes.Buffer
+		cmd.Stdout = &childOut
+		cmd.Stderr = &childOut
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+			if t.Failed() {
+				t.Logf("worker %s output:\n%s", serve, childOut.String())
+			}
+		})
+	}
+	waitListening(t, ports[1])
+	waitListening(t, ports[2])
+
+	var out bytes.Buffer
+	args := append(append([]string{}, common...),
+		"-serve", "0-19", "-query", "-queries", "4", "-concurrency", "2")
+	cfg, err := ParseArgs("validityd", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Out = &out
+	if err := Run(cfg); err != nil {
+		t.Fatalf("join query stream failed: %v\n%s", err, out.String())
+	}
+
+	lines := streamLineRe.FindAllStringSubmatch(out.String(), -1)
+	if len(lines) != 4 {
+		t.Fatalf("got %d result lines, want 4:\n%s", len(lines), out.String())
+	}
+
+	g := topology.Generate(topology.Random, 60, 23)
+	values := zipfval.Default(23).Values(60)
+	_, plan := planFromArgs(t, common, 60)
+	for _, m := range lines {
+		id, _ := strconv.Atoi(m[1])
+		if m[4] != "true" {
+			t.Fatalf("query %d with a mid-query join judged invalid:\n%s", id, out.String())
+		}
+		kind, hq := agg.Count, graph.HostID(0)
+		if id%2 == 0 {
+			kind, hq = agg.Min, 7
+		}
+		tl := plan.forQuery(node.QueryID(id), hq, 24) // deadline 2·D̂ = 24
+		ix := tl.Index()
+		initial := 0
+		for h := 0; h < 60; h++ {
+			if ix.InitialMember(graph.HostID(h)) {
+				initial++
+			}
+		}
+		if initial != 59 {
+			t.Fatalf("query %d: initial host set = %d, want 59 (host 45 arrives late)", id, initial)
+		}
+		b := oracle.Compute(g, values, hq, tl, 24, kind)
+		if len(b.HU) <= initial {
+			t.Fatalf("query %d: |H_U| = %d not above the initial host count %d", id, len(b.HU), initial)
+		}
+		if len(b.HU) != 60 {
+			t.Fatalf("query %d: |H_U| = %d, want 60 (the joiner arrived before the deadline)", id, len(b.HU))
+		}
+		// The printed bounds are exactly this recomputation — the workers
+		// enforced a timeline the issuer's oracle derived without any
+		// churn coordination on the wire.
+		wantLo, wantHi := fmt.Sprintf("%.2f", b.LowerValue), fmt.Sprintf("%.2f", b.UpperValue)
+		lineLo, lineHi := boundsOf(t, out.String(), id)
+		if wantLo != lineLo || wantHi != lineHi {
+			t.Fatalf("query %d bounds [%s, %s] do not match the recomputed [%s, %s]",
+				id, lineLo, lineHi, wantLo, wantHi)
+		}
+	}
+}
+
+// boundsOf extracts query id's printed lower/upper bounds.
+func boundsOf(t *testing.T, out string, id int) (lo, hi string) {
+	t.Helper()
+	for _, m := range latRe.FindAllStringSubmatch(out, -1) {
+		if got, _ := strconv.Atoi(m[1]); got == id {
+			return m[2], m[3]
+		}
+	}
+	t.Fatalf("no result line for query %d:\n%s", id, out)
+	return "", ""
+}
+
+// TestContinuousJoinPopulationGrows streams a continuous COUNT over a
+// fleet whose population only grows: two late joiners arrive mid-run, so
+// the per-window pop= column — each window's own |H_U| — must rise
+// across windows, the growth the departures-only timeline could never
+// show.
+func TestContinuousJoinPopulationGrows(t *testing.T) {
+	var out bytes.Buffer
+	cfg, err := ParseArgs("validityd", []string{
+		"-transport", "chan",
+		"-topology", "random", "-hosts", "60", "-seed", "23",
+		"-query", "-continuous", "-windows", "3", "-window", "24",
+		"-hq", "0", "-agg", "count",
+		// Absolute stream clock: hosts 30 and 31 are late joiners landing
+		// in windows 1 and 2 respectively.
+		"-kill", "+30@30,+31@55",
+		"-hop", testHop.String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Out = &out
+	if err := Run(cfg); err != nil {
+		t.Fatalf("continuous join stream failed: %v\n%s", err, out.String())
+	}
+	lines := windowLineRe.FindAllStringSubmatch(out.String(), -1)
+	if len(lines) != 3 {
+		t.Fatalf("got %d window lines, want 3:\n%s", len(lines), out.String())
+	}
+	var pops []int
+	for i, m := range lines {
+		if m[11] != "true" {
+			t.Fatalf("window %d judged invalid:\n%s", i, out.String())
+		}
+		pop, _ := strconv.Atoi(m[7])
+		pops = append(pops, pop)
+	}
+	want := []int{58, 59, 60}
+	for i, p := range pops {
+		if p != want[i] {
+			t.Fatalf("window populations = %v, want %v (arrivals must grow them):\n%s",
+				pops, want, out.String())
+		}
+	}
+}

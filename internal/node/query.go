@@ -26,15 +26,18 @@ type QueryInstance struct {
 	// Deadline is the query's termination time 2·D̂ in δ ticks; the engine
 	// retires the query's state well after it has passed.
 	Deadline sim.Time
-	// Churn is the query's failure schedule, in ticks of this query's own
-	// clock: host h is dead for this query — drops its frames, fires no
-	// timers, says nothing — from the scheduled tick on, while other
-	// queries sharing the fleet keep hearing from it. Factories must
-	// derive it deterministically from the shared seed and the query id
-	// (churn.Source + churn.QuerySeed), so every process enforces the
-	// identical timeline with no churn coordination on the wire.
-	// Runtime.Kill remains the degenerate all-queries case.
-	Churn churn.Schedule
+	// Churn is the query's membership timeline, in ticks of this query's
+	// own clock: from a Leave tick on, host h is dead for this query —
+	// drops its frames, fires no timers, says nothing — while other
+	// queries sharing the fleet keep hearing from it; a Join tick
+	// un-suppresses it again (frames, timers, and sends resume on this
+	// query's clock), with a late joiner's handler started lazily exactly
+	// like first contact. Factories must derive it deterministically from
+	// the shared seed and the query id (churn.Source + churn.QuerySeed),
+	// so every process enforces the identical timeline with no churn
+	// coordination on the wire. Runtime.Kill remains the degenerate
+	// all-queries case.
+	Churn churn.Timeline
 }
 
 // QueryFactory builds the local protocol instance for a query on first
@@ -261,15 +264,18 @@ type queryState struct {
 	// synchronization is needed.
 	started []bool
 
-	// Per-query membership (nil when the query has no churn schedule):
-	// failAt[h] is h's first departure tick on this query's clock (-1 =
-	// never), and dead[h] flips when that tick passes — set at
-	// instantiation for tick-0 departures, otherwise by a timer-heap entry
-	// armed when the query clock arms. Dead-for-this-query hosts drop
-	// deliveries, fire no timers, and send nothing, all without touching
-	// the host's liveness on any other query.
-	failAt []sim.Time
-	dead   []atomic.Bool
+	// Per-query membership (nil when the query has no churn timeline):
+	// membership indexes the timeline on this query's clock, and dead[h]
+	// tracks h's current state — seeded at instantiation from the
+	// timeline's tick-0 membership (a tick-0 departure or a late joiner
+	// starts dead), then flipped by timer-heap entries armed when the
+	// query clock arms: a Leave tick marks the host dead for this query, a
+	// Join tick marks it alive again and re-runs its lazy Start if it
+	// never lived. Dead-for-this-query hosts drop deliveries, fire no
+	// timers, and send nothing, all without touching the host's liveness
+	// on any other query.
+	membership *churn.Index
+	dead       []atomic.Bool
 
 	retired   atomic.Bool
 	sent      atomic.Int64
@@ -297,26 +303,24 @@ func newQueryState(rt *Runtime, id QueryID, inst *QueryInstance, deadline sim.Ti
 			}
 		}
 		if len(inst.Churn) > 0 {
-			// Degenerate negative departure times mean "before the query
-			// existed": clamp them to tick 0 so they read as
-			// dead-from-the-start rather than colliding with FailTime's
-			// never-fails sentinel (-1).
-			sched := make(churn.Schedule, len(inst.Churn))
-			for i, f := range inst.Churn {
-				if f.T < 0 {
-					f.T = 0
+			// Degenerate negative event times mean "before the query
+			// existed": clamp them to tick 0 so a departure reads as
+			// dead-from-the-start and a join as present-from-the-start.
+			tl := make(churn.Timeline, len(inst.Churn))
+			for i, e := range inst.Churn {
+				if e.T < 0 {
+					e.T = 0
 				}
-				sched[i] = f
+				tl[i] = e
 			}
-			ix := sched.Index()
-			qs.failAt = make([]sim.Time, n)
+			qs.membership = tl.Index()
 			qs.dead = make([]atomic.Bool, n)
 			for h := 0; h < n; h++ {
-				qs.failAt[h] = ix.FailTime(graph.HostID(h))
-				// A departure at tick 0 precedes any traffic: the host was
-				// never a member of this query, so it must not even run
-				// Start.
-				if qs.failAt[h] == 0 {
+				// Tick-0 state: a departure at tick 0 precedes any traffic
+				// (the host was never a member of this query, so it must
+				// not even run Start), and a late joiner is dead until its
+				// join tick fires.
+				if !qs.membership.AliveAt(graph.HostID(h), 0) {
 					qs.dead[h].Store(true)
 				}
 			}
@@ -339,6 +343,16 @@ func (qs *queryState) markDead(h graph.HostID) {
 	}
 }
 
+// markAlive executes h's scheduled join for this query: the host's
+// frames, timers, and sends resume on this query's clock. The caller
+// (the timer loop) follows up with an itemStart dispatch so a late
+// joiner's handler runs Start lazily, exactly like first contact.
+func (qs *queryState) markAlive(h graph.HostID) {
+	if qs.dead != nil {
+		qs.dead[h].Store(false)
+	}
+}
+
 // startHost runs hd.Start exactly once for host h; must be called from
 // h's goroutine (hostLoop).
 func (qs *queryState) startHost(rt *Runtime, h graph.HostID, hd sim.Handler) {
@@ -350,19 +364,27 @@ func (qs *queryState) startHost(rt *Runtime, h graph.HostID, hd sim.Handler) {
 }
 
 // armClock starts the query clock if it is not yet running, converts the
-// query's churn schedule into absolute timer-heap entries for the local
-// hosts (a departure at tick k fires k·δ after the clock armed), and arms
-// the engine clock alongside it.
+// query's membership timeline into absolute timer-heap entries for the
+// local hosts (a transition at tick k fires k·δ after the clock armed —
+// departures as tkQueryDead, joins as tkQueryJoin), and arms the engine
+// clock alongside it.
 func (qs *queryState) armClock(rt *Runtime) {
 	qs.clockOnce.Do(func() {
 		t := time.Now()
 		qs.clockStart.Store(&t)
-		if qs.failAt != nil {
+		if qs.membership != nil {
 			for _, h := range rt.localHosts {
-				if at := qs.failAt[h]; at > 0 {
+				for _, e := range qs.membership.HostEvents(h) {
+					if e.T <= 0 {
+						continue // tick-0 state was seeded at instantiation
+					}
+					kind := tkQueryDead
+					if e.Kind == churn.Join {
+						kind = tkQueryJoin
+					}
 					rt.scheduleEntry(&timerEntry{
-						when: t.Add(time.Duration(at) * rt.hop),
-						kind: tkQueryDead,
+						when: t.Add(time.Duration(e.T) * rt.hop),
+						kind: kind,
 						h:    h,
 						qs:   qs,
 					})

@@ -95,20 +95,54 @@ func summarize(id QueryID, s Stats) RetiredStats {
 // the runtime-wide retired totals (so Stats keeps reporting the fleet's
 // full history) and a summary lands on the ring, then the demux map entry
 // is deleted. Fired from the timer heap one grace window after retirement.
+//
+// The snapshot is taken under rt.mu, in the same critical section that
+// drops the demux entry: straggler increments for a retired query go
+// through dropRetired, which takes the same lock, so every such increment
+// either lands before the snapshot (and is folded) or observes the entry
+// gone (and lands on the folded totals directly) — none can fall between
+// the snapshot and the delete and be lost.
 func (rt *Runtime) compact(qs *queryState) {
 	if qs.id == DefaultQuery {
 		return
 	}
-	snap := qs.snapshot()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	e := rt.queries[qs.id]
 	if e == nil || e.qs != qs {
 		return // already compacted
 	}
+	snap := qs.snapshot()
 	delete(rt.queries, qs.id)
 	rt.retiredTotal.merge(snap)
 	rt.retired.push(summarize(qs.id, snap))
+}
+
+// dropRetired counts one frame dropped at a retired query. It serializes
+// with compact through rt.mu: while the query's demux entry survives, the
+// increment goes to the query's own counter (the compaction snapshot will
+// fold it); once the entry is gone, it goes straight into the folded
+// totals and the ring summary. An increment racing the compaction instant
+// is therefore counted exactly once — the pre-fix window where a counter
+// bump could land after the snapshot but before the fold no longer
+// exists.
+func (rt *Runtime) dropRetired(qs *queryState) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if e := rt.queries[qs.id]; e != nil && e.qs == qs {
+		qs.dropped.Add(1)
+		return
+	}
+	rt.retiredTotal.MessagesDropped++
+	rt.retired.bump(qs.id)
+}
+
+// bump adds one dropped message to id's ring summary, if it still holds
+// one. Called under Runtime.mu.
+func (r *retiredRing) bump(id QueryID) {
+	if i, ok := r.byID[id]; ok {
+		r.buf[i].MessagesDropped++
+	}
 }
 
 // RetiredStats returns the summaries of recently retired-and-compacted

@@ -333,7 +333,9 @@ func (rt *Runtime) recvFunc(h graph.HostID) transport.RecvFunc {
 			return // unknown query and no factory to build it
 		}
 		if qs.retired.Load() {
-			qs.dropped.Add(1)
+			// Serialized with compaction: the drop is folded exactly once
+			// whether it lands before or after the counters collapse.
+			rt.dropRetired(qs)
 			return
 		}
 		select {
@@ -424,18 +426,31 @@ func (rt *Runtime) hostLoop(h graph.HostID) {
 				it.qs.handlers[h] = nil
 				continue
 			}
-			if !rt.aliveHost(h) {
+			qs := it.qs
+			// Retirement is checked before host liveness so that EVERY
+			// retired-query drop — including one at a Kill'd host — goes
+			// through dropRetired's serialization with compact; a lock-free
+			// increment here could land after the compaction snapshot and
+			// be lost from the folded totals.
+			if qs.retired.Load() {
 				if it.kind == itemMsg {
-					it.qs.dropped.Add(1)
+					rt.dropRetired(qs)
 				}
 				continue
 			}
-			qs := it.qs
-			if qs.retired.Load() {
+			if !rt.aliveHost(h) {
 				if it.kind == itemMsg {
 					qs.dropped.Add(1)
 				}
 				continue
+			}
+			if it.kind == itemMsg {
+				// First traffic arms the query clock even when the local
+				// target is dead on this query's timeline: the frame proves
+				// the query reached this process, and the clock is what
+				// schedules the timeline's own join ticks — a shard whose
+				// every local host starts absent must still wake them.
+				qs.armClock(rt)
 			}
 			if qs.hostDead(h) {
 				// Dead on this query's membership timeline: its frames are
@@ -454,7 +469,6 @@ func (rt *Runtime) hostLoop(h graph.HostID) {
 			case itemStart:
 				qs.startHost(rt, h, hd)
 			case itemMsg:
-				qs.armClock(rt)
 				// A lazily instantiated handler's first contact IS its
 				// start-of-life: run Start before the first Receive, so
 				// protocols that initialize per-host state in Start (not

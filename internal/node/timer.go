@@ -14,9 +14,9 @@ import (
 // spawning a goroutine for each would churn the scheduler for no benefit.
 // The heap orders entries by wall-clock firing time with a sequence-number
 // tiebreak (FIFO among equal times, matching the event loop's
-// determinism), and covers protocol timers, scheduled departures — both
-// the all-queries KillAt kind and per-query membership departures — and
-// query-state retirement and compaction alike.
+// determinism), and covers protocol timers, scheduled membership
+// transitions — the all-queries KillAt kind plus per-query departures and
+// joins — and query-state retirement and compaction alike.
 
 type timerKind uint8
 
@@ -28,6 +28,10 @@ const (
 	// tkQueryDead executes a departure on one query's membership timeline:
 	// the host goes silent for that query and that query only.
 	tkQueryDead
+	// tkQueryJoin executes an arrival on one query's membership timeline:
+	// the host's frames, timers, and sends resume for that query, and a
+	// late joiner's handler is started lazily like any first contact.
+	tkQueryJoin
 	// tkRetire retires a query's state after its deadline safely passed.
 	tkRetire
 	// tkCompact folds a retired query's counters into the bounded ring of
@@ -170,6 +174,14 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 		rt.Kill(e.h)
 	case tkQueryDead:
 		e.qs.markDead(e.h)
+	case tkQueryJoin:
+		// Un-suppress first, then hand the host goroutine a Start item:
+		// startHost is exactly-once per (query, host), so a rebirth (the
+		// host lived before) reduces to the un-suppression alone, while a
+		// late joiner's handler starts now — the same lazy
+		// instantiate-on-first-contact path worker shards already run.
+		e.qs.markAlive(e.h)
+		rt.dispatch(e.h, item{kind: itemStart, qs: e.qs})
 	case tkRetire:
 		rt.retire(e.qs)
 	case tkCompact:

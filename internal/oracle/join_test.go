@@ -1,0 +1,143 @@
+package oracle
+
+import (
+	"testing"
+
+	"validity/internal/agg"
+	"validity/internal/churn"
+	"validity/internal/graph"
+)
+
+// TestJoinGrowsHU is the membership timeline's headline property: a host
+// joining mid-query pushes H_U past the initial host set while staying
+// out of H_C.
+func TestJoinGrowsHU(t *testing.T) {
+	g, vals := chain()
+	tl := churn.Timeline{{H: 4, T: 30, Kind: churn.Join}} // late joiner: absent on [0, 30)
+	b := Compute(g, vals, 0, tl, 100, agg.Count)
+
+	initial := 0
+	ix := tl.Index()
+	for h := 0; h < g.Len(); h++ {
+		if ix.InitialMember(graph.HostID(h)) {
+			initial++
+		}
+	}
+	if initial != 4 {
+		t.Fatalf("initial host set = %d, want 4 (host 4 arrives late)", initial)
+	}
+	if len(b.HU) <= initial {
+		t.Fatalf("|H_U| = %d not above the initial host set %d; joins must grow it", len(b.HU), initial)
+	}
+	if len(b.HU) != 5 {
+		t.Fatalf("|H_U| = %d, want 5 (everyone is a member at some instant)", len(b.HU))
+	}
+	// The joiner was not present throughout, so it cannot be in H_C.
+	if len(b.HC) != 4 {
+		t.Fatalf("|H_C| = %d, want 4 (the joiner has no stable path over the whole interval)", len(b.HC))
+	}
+	if b.LowerValue != 4 || b.UpperValue != 5 {
+		t.Fatalf("count bounds = %v..%v, want 4..5", b.LowerValue, b.UpperValue)
+	}
+}
+
+// TestJoinAfterDeadlineOutsideHU: a host arriving after the query ends
+// was never a member of its interval.
+func TestJoinAfterDeadlineOutsideHU(t *testing.T) {
+	g, vals := chain()
+	tl := churn.Timeline{{H: 4, T: 150, Kind: churn.Join}}
+	b := Compute(g, vals, 0, tl, 100, agg.Count)
+	if len(b.HU) != 4 {
+		t.Fatalf("|H_U| = %d, want 4 (the join falls past the deadline)", len(b.HU))
+	}
+	if len(b.HC) != 4 {
+		t.Fatalf("|H_C| = %d, want 4", len(b.HC))
+	}
+}
+
+// TestMultiSessionHostCountedOnce: a host that leaves, rejoins, and
+// leaves again inside the interval is in H_U exactly once and never in
+// H_C — brief absences break the stable path no matter how the sessions
+// line up.
+func TestMultiSessionHostCountedOnce(t *testing.T) {
+	g, vals := chain()
+	tl := churn.Timeline{
+		{H: 2, T: 10},
+		{H: 2, T: 20, Kind: churn.Join},
+		{H: 2, T: 60},
+	}
+	b := Compute(g, vals, 0, tl, 100, agg.Count)
+	seen := 0
+	for _, h := range b.HU {
+		if h == 2 {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("multi-session host appears %d times in H_U, want exactly once", seen)
+	}
+	if len(b.HU) != 5 {
+		t.Fatalf("|H_U| = %d, want 5", len(b.HU))
+	}
+	// H_C: host 2's absences cut the chain for 3 and 4 too.
+	if len(b.HC) != 2 {
+		t.Fatalf("|H_C| = %d, want 2 (hosts 0,1)", len(b.HC))
+	}
+}
+
+// TestComputeIntervalPopulationGrows: windows over a growing population
+// show H_U growing, and a mid-window joiner counts toward that window's
+// H_U without entering its H_C.
+func TestComputeIntervalPopulationGrows(t *testing.T) {
+	g, vals := chain()
+	// Hosts 3 and 4 arrive during window 1 ([24, 48]); host 4 later
+	// leaves in window 2.
+	tl := churn.Timeline{
+		{H: 3, T: 30, Kind: churn.Join},
+		{H: 4, T: 40, Kind: churn.Join},
+		{H: 4, T: 60},
+	}
+	ix := tl.Index()
+	b0 := ComputeInterval(g, vals, 0, ix, 0, 24, agg.Count)
+	b1 := ComputeInterval(g, vals, 0, ix, 24, 48, agg.Count)
+	b2 := ComputeInterval(g, vals, 0, ix, 48, 72, agg.Count)
+	if len(b0.HU) != 3 {
+		t.Fatalf("window 0 |H_U| = %d, want 3 (joiners still absent)", len(b0.HU))
+	}
+	if len(b1.HU) != 5 {
+		t.Fatalf("window 1 |H_U| = %d, want 5 (both arrivals fall inside it)", len(b1.HU))
+	}
+	if len(b1.HU) <= len(b0.HU) {
+		t.Fatal("window population did not grow across an arrival")
+	}
+	if len(b1.HC) != 3 {
+		t.Fatalf("window 1 |H_C| = %d, want 3 (mid-window joiners are not stable)", len(b1.HC))
+	}
+	// Window 2: host 3 is now a full member (joined before, never
+	// leaves); host 4 leaves mid-window — in H_U, not H_C.
+	if len(b2.HU) != 5 {
+		t.Fatalf("window 2 |H_U| = %d, want 5", len(b2.HU))
+	}
+	if len(b2.HC) != 4 {
+		t.Fatalf("window 2 |H_C| = %d, want 4 (host 4 departs mid-window)", len(b2.HC))
+	}
+}
+
+// TestIntervalRejoinWithinWindow: a host absent when the window opens
+// but rejoining inside it belongs to that window's H_U (it is a member
+// at some instant), not its H_C.
+func TestIntervalRejoinWithinWindow(t *testing.T) {
+	g, vals := chain()
+	tl := churn.Timeline{
+		{H: 4, T: 10},
+		{H: 4, T: 30, Kind: churn.Join},
+	}
+	ix := tl.Index()
+	b := ComputeInterval(g, vals, 0, ix, 24, 48, agg.Count)
+	if len(b.HU) != 5 {
+		t.Fatalf("|H_U| = %d, want 5 (host 4 rejoins mid-window)", len(b.HU))
+	}
+	if len(b.HC) != 4 {
+		t.Fatalf("|H_C| = %d, want 4", len(b.HC))
+	}
+}

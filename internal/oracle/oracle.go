@@ -2,16 +2,22 @@
 // observer of all events in G that computes the Single-Site Validity
 // bounds for a query issued at h_q over the interval [0, T]:
 //
-//   - H_U = ∪_t H_t, the hosts alive at some instant of the interval
-//     (with no joins modeled, H_U is simply the initial host set);
+//   - H_U = ∪_t H_t, the hosts that are members at some instant of the
+//     interval: every initial member (including one that departs the very
+//     first tick — it was present at the starting instant) plus every
+//     late joiner whose arrival falls inside the interval, so with joins
+//     modeled H_U can exceed the initial host set;
 //   - H_C, the hosts with at least one stable path to h_q: a path all of
-//     whose hosts (and edges) stay alive during the entire interval (§4.1).
+//     whose hosts (and edges) stay alive during the entire interval
+//     (§4.1). Continuous presence is required — a host that leaves and
+//     rejoins mid-interval drops out of H_C no matter how brief the
+//     absence, exactly like a late joiner.
 //
 // Because link failures are not modeled separately, a stable path is
-// exactly a path inside the subgraph induced by hosts that survive [0, T];
-// H_C is therefore the connected component of h_q in that subgraph
-// (provided h_q itself survives, which experiments guarantee by protecting
-// it from churn).
+// exactly a path inside the subgraph induced by hosts present throughout
+// [0, T]; H_C is therefore the connected component of h_q in that
+// subgraph (provided h_q itself is, which experiments guarantee by
+// protecting it from churn).
 //
 // The oracle also evaluates the q(H_C) and q(H_U) bounds for any aggregate
 // and provides the §2.4 post-hoc validity metrics (Completeness, Relative
@@ -45,26 +51,30 @@ type Bounds struct {
 }
 
 // Compute derives the bounds for a query issued at hq at time 0 with
-// deadline T, given the initial topology g, per-host values, and the churn
-// schedule. Hosts that fail strictly after T count as survivors of the
-// interval.
+// deadline T, given the initial topology g, per-host values, and the
+// membership timeline. Hosts whose every membership transition falls
+// strictly after T count as present for the interval.
 //
 // Times are ticks on the query's own clock: under the engine's per-query
-// churn, every concurrent query hands its own schedule here and gets its
+// churn, every concurrent query hands its own timeline here and gets its
 // own H_C/H_U sets back — there is no shared clock to rebase onto.
-func Compute(g *graph.Graph, values []int64, hq graph.HostID, sched churn.Schedule, T sim.Time, kind agg.Kind) Bounds {
+func Compute(g *graph.Graph, values []int64, hq graph.HostID, tl churn.Timeline, T sim.Time, kind agg.Kind) Bounds {
 	if len(values) != g.Len() {
 		panic(fmt.Sprintf("oracle: %d values for %d hosts", len(values), g.Len()))
 	}
-	ix := sched.Index()
+	ix := tl.Index()
 	survives := func(h graph.HostID) bool { return ix.Survives(h, T) }
-	// H_U: alive at some instant in [0, T] — every initial host qualifies
-	// (failures only remove; joins are not modeled in the experiments).
+	// H_U: a member at some instant of [0, T] — every initial host
+	// qualifies (present at the starting instant, even one departing at
+	// tick 0), and so does every late joiner arriving by the deadline.
+	// ArriveTime is 0 for initial members, so one predicate covers both.
 	hu := make([]graph.HostID, 0, g.Len())
 	for h := 0; h < g.Len(); h++ {
-		hu = append(hu, graph.HostID(h))
+		if ix.ArriveTime(graph.HostID(h)) <= T {
+			hu = append(hu, graph.HostID(h))
+		}
 	}
-	// H_C: component of hq among interval survivors.
+	// H_C: component of hq among hosts present throughout the interval.
 	var hc []graph.HostID
 	if survives(hq) {
 		hc = g.Component(hq, survives)
@@ -76,22 +86,23 @@ func Compute(g *graph.Graph, values []int64, hq graph.HostID, sched churn.Schedu
 }
 
 // ComputeInterval derives the bounds of one window [start, end] of a
-// continuous query (§4.2), given the stream's absolute failure schedule
-// as an Index. H_U is the set of hosts alive when the window opens —
-// without joins modeled, exactly the hosts alive at some instant of the
-// window — and H_C is the connected component of hq among hosts that
-// survive the entire window (fail strictly after end, or never). Every
-// window of a stream is judged against its own pair, which is what makes
-// the answer sequence Continuous Single-Site Valid rather than a one-time
-// bound stretched over a churning interval.
+// continuous query (§4.2), given the stream's absolute membership
+// timeline as an Index. H_U is the set of hosts that are members at some
+// instant of the window — everyone alive when it opens plus everyone
+// arriving before it closes, so a window over a growing population shows
+// H_U growing — and H_C is the connected component of hq among hosts
+// present throughout the window. Every window of a stream is judged
+// against its own pair, which is what makes the answer sequence
+// Continuous Single-Site Valid rather than a one-time bound stretched
+// over a churning interval.
 func ComputeInterval(g *graph.Graph, values []int64, hq graph.HostID, ix *churn.Index, start, end sim.Time, kind agg.Kind) Bounds {
 	if len(values) != g.Len() {
 		panic(fmt.Sprintf("oracle: %d values for %d hosts", len(values), g.Len()))
 	}
-	survives := func(h graph.HostID) bool { return ix.Alive(h, end) }
+	survives := func(h graph.HostID) bool { return ix.PresentThroughout(h, start, end) }
 	hu := make([]graph.HostID, 0, g.Len())
 	for h := 0; h < g.Len(); h++ {
-		if ix.Alive(graph.HostID(h), start) {
+		if ix.AliveDuring(graph.HostID(h), start, end) {
 			hu = append(hu, graph.HostID(h))
 		}
 	}

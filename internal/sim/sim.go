@@ -259,8 +259,10 @@ func (nw *Network) FailAt(h graph.HostID, t Time) {
 	nw.push(&event{t: t, kind: evFail, host: h})
 }
 
-// JoinAt schedules host h (which must have been constructed dead via
-// SetInitiallyDead) to join the network at time t; its Start runs then.
+// JoinAt schedules host h to join the network at time t. For a host
+// constructed dead via SetInitiallyDead (a late joiner) its Start runs
+// then; for a host that failed earlier (a rebirth) it resumes with its
+// existing handler state. Joining while already present is a no-op.
 func (nw *Network) JoinAt(h graph.HostID, t Time) {
 	nw.push(&event{t: t, kind: evJoin, host: h})
 }
@@ -308,8 +310,15 @@ func (nw *Network) dispatch(e *event) {
 	case evFail:
 		nw.alive[e.host] = false
 	case evJoin:
+		if nw.alive[e.host] {
+			return // join while present: no-op
+		}
+		nw.alive[e.host] = true
 		if !nw.joined[e.host] {
-			nw.alive[e.host] = true
+			// First arrival of a late joiner: its Start runs now. A host
+			// rejoining after a failure (a membership-timeline rebirth)
+			// resumes with its existing handler state; Start is once per
+			// host lifetime, exactly as under the live engine.
 			nw.joined[e.host] = true
 			if hd := nw.handlers[e.host]; hd != nil {
 				hd.Start(nw.ctx(e.host, 0))

@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"validity/internal/agg"
+	"validity/internal/churn"
+	"validity/internal/graph"
+	"validity/internal/protocol"
+	"validity/internal/sim"
+	"validity/internal/topology"
+	"validity/internal/zipfval"
+)
+
+// TestSlicePreservesJoins extends the slicing property test to the event
+// timeline: re-basing an absolute timeline into window-relative ticks
+// preserves every in-horizon event — joins and departures alike, kind
+// included — exactly once, in the window containing its tick.
+func TestSlicePreservesJoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const (
+		w     = sim.Time(9)
+		n     = 7
+		hosts = 50
+	)
+	horizon := w * sim.Time(n)
+	for trial := 0; trial < 50; trial++ {
+		var tl churn.Timeline
+		inHorizon, joins := 0, 0
+		for i := 0; i < 40; i++ {
+			tick := sim.Time(rng.Int63n(int64(horizon) + int64(horizon)/3))
+			kind := churn.Leave
+			if rng.Intn(2) == 0 {
+				kind = churn.Join
+			}
+			if tick < horizon {
+				inHorizon++
+				if kind == churn.Join {
+					joins++
+				}
+			}
+			tl = append(tl, churn.Event{H: graph.HostID(rng.Intn(hosts)), T: tick, Kind: kind})
+		}
+		if joins == 0 {
+			continue // want every counted trial to actually exercise joins
+		}
+		slices := Slice(tl, w, n)
+		type ev struct {
+			H    graph.HostID
+			T    sim.Time
+			Kind churn.EventKind
+		}
+		want := map[ev]int{}
+		for _, e := range tl {
+			if e.T < horizon {
+				want[ev{e.H, e.T, e.Kind}]++
+			}
+		}
+		got := map[ev]int{}
+		total, gotJoins := 0, 0
+		for k, s := range slices {
+			for _, e := range s {
+				if e.T < 0 || e.T >= w {
+					t.Fatalf("window %d holds out-of-window relative tick %d", k, e.T)
+				}
+				got[ev{e.H, sim.Time(k)*w + e.T, e.Kind}]++
+				total++
+				if e.Kind == churn.Join {
+					gotJoins++
+				}
+			}
+		}
+		if total != inHorizon {
+			t.Fatalf("sliced %d events, want %d (every in-horizon event exactly once)", total, inHorizon)
+		}
+		if gotJoins != joins {
+			t.Fatalf("sliced %d joins, want %d (every join exactly once)", gotJoins, joins)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("slicing lost, duplicated, or re-kinded events:\n got %v\nwant %v", got, want)
+		}
+	}
+}
+
+// TestWindowScheduleWithJoins pins the per-window derivation over a full
+// event timeline: a late joiner enters every earlier window dead at tick
+// 0 and its own window via a re-based join; a multi-session host is
+// carried dead into windows that open during its absence and alive into
+// windows that open mid-session.
+func TestWindowScheduleWithJoins(t *testing.T) {
+	plan := &Plan{
+		Query:     1,
+		Spec:      protocol.Query{Kind: agg.Count, Hq: 0, DHat: 2, Params: agg.Params{Vectors: 8, Bits: 32}},
+		WindowLen: 9,
+		Windows:   3,
+		Seed:      5,
+		Static: churn.Timeline{
+			{H: 5, T: 3},                    // leaves in window 0
+			{H: 5, T: 12, Kind: churn.Join}, // rejoins in window 1
+			{H: 7, T: 20, Kind: churn.Join}, // late joiner, window 2
+			{H: 9, T: 9},                    // boundary leave: window 1 at tick 0
+		},
+	}
+	want := []churn.Timeline{
+		// Window 0: host 7 absent the whole window (dead at 0, ahead of
+		// every in-window tick); host 5's leave at 3; host 9 still present.
+		{{H: 7, T: 0}, {H: 5, T: 3}},
+		// Window 1: host 5 absent at open, rejoins at re-based tick 3;
+		// host 7 still absent; host 9's boundary leave re-bases to 0.
+		{{H: 5, T: 0}, {H: 7, T: 0}, {H: 9, T: 0}, {H: 5, T: 3, Kind: churn.Join}},
+		// Window 2: host 5 alive at open (nothing to say); host 9 long
+		// gone; host 7 joins at re-based tick 2 (carryover order follows
+		// the absolute timeline: 9's event precedes 7's).
+		{{H: 9, T: 0}, {H: 7, T: 0}, {H: 7, T: 2, Kind: churn.Join}},
+	}
+	for k, w := range want {
+		got, err := plan.WindowSchedule(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("window %d schedule = %v, want %v", k, got, w)
+		}
+	}
+	// The oracle view of the same plan: the population grows when the
+	// late joiner arrives.
+	g := topology.Generate(topology.Random, 12, 5)
+	values := zipfval.Default(5).Values(12)
+	b1, err := plan.Bounds(g, values, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := plan.Bounds(g, values, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1 [9,18]: host 7 still absent and host 9 leaves at the
+	// opening instant, so |H_U| = 10; host 5's mid-window rejoin keeps it
+	// in. Window 2 [18,27]: host 7's arrival grows |H_U| to 11.
+	if len(b1.HU) != 10 || len(b2.HU) != 11 {
+		t.Fatalf("window |H_U| = %d, %d; want 10, 11", len(b1.HU), len(b2.HU))
+	}
+	if len(b2.HU) <= len(b1.HU) {
+		t.Fatalf("window 2 |H_U| = %d not above window 1's %d despite an arrival",
+			len(b2.HU), len(b1.HU))
+	}
+}

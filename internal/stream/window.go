@@ -13,15 +13,17 @@
 // factory that recognizes window ids.
 //
 // Dynamism is expressed once, on the stream's absolute clock: an
-// operator-named schedule and/or a generated churn.Source spanning the
-// whole run [0, N·W]. Slice re-bases it per window — a departure at
-// absolute tick t lands in window ⌊t/W⌋ at tick t mod W of that window's
-// own clock, and hosts dead before a window opens enter it dead at tick
-// 0 — so the engine enforces each window's membership on the window
-// sub-query's own clock while the oracle (oracle.ComputeInterval) judges
-// the window against its own H_C/H_U. Results stream to the caller in
-// window order with per-window §6.3 cost counters (stream.Stream,
-// stream.Results).
+// operator-named event timeline and/or a generated churn.Source spanning
+// the whole run [0, N·W]. Slice re-bases it per window — an event at
+// absolute tick t, departure or join, lands in window ⌊t/W⌋ at tick
+// t mod W of that window's own clock, hosts absent when a window opens
+// enter it dead at tick 0, and a join mid-window brings its host alive
+// on the window sub-query's own clock — so the engine enforces each
+// window's membership locally while the oracle (oracle.ComputeInterval)
+// judges the window against its own H_C/H_U, whose population grows
+// across windows when arrivals outpace departures. Results stream to the
+// caller in window order with per-window §6.3 cost counters
+// (stream.Stream, stream.Results).
 package stream
 
 import (
@@ -56,29 +58,32 @@ func SplitWindowID(id node.QueryID) (q node.QueryID, k int, ok bool) {
 	return node.QueryID(int64(id) & 0xFFFFFFFF), int(hi - 1), true
 }
 
-// Slice splits an absolute failure schedule into n window-relative
-// schedules: a departure at absolute tick t lands in window k = ⌊t/w⌋ —
-// the window whose [k·w, (k+1)·w) interval contains it — at tick t − k·w
-// of that window's own clock, so every departure lands in exactly one
-// window. A tick of exactly k·w re-bases to tick 0 of window k: the host
-// was never a member of that window (and, by the oracle's convention,
-// does not survive window k−1). Departures at or past n·w are beyond the
-// stream's horizon and are dropped; negative ticks clamp into window 0 at
-// tick 0, mirroring the engine's dead-before-the-query-existed rule.
-func Slice(s churn.Schedule, w sim.Time, n int) []churn.Schedule {
-	out := make([]churn.Schedule, n)
+// Slice splits an absolute membership timeline into n window-relative
+// timelines: an event at absolute tick t lands in window k = ⌊t/w⌋ — the
+// window whose [k·w, (k+1)·w) interval contains it — at tick t − k·w of
+// that window's own clock, joins and departures alike, so every event
+// lands in exactly one window. A tick of exactly k·w re-bases to tick 0
+// of window k: a departing host was never a member of that window (and,
+// by the oracle's convention, does not survive window k−1), a joining
+// host is a member from the window's very first instant. Events at or
+// past n·w are beyond the stream's horizon and are dropped; negative
+// ticks clamp into window 0 at tick 0, mirroring the engine's
+// before-the-query-existed rule.
+func Slice(tl churn.Timeline, w sim.Time, n int) []churn.Timeline {
+	out := make([]churn.Timeline, n)
 	if w <= 0 || n <= 0 {
 		return out
 	}
-	for _, f := range s {
-		if f.T < 0 {
-			f.T = 0
+	for _, e := range tl {
+		if e.T < 0 {
+			e.T = 0
 		}
-		k := int(f.T / w)
+		k := int(e.T / w)
 		if k >= n {
 			continue
 		}
-		out[k] = append(out[k], churn.Failure{H: f.H, T: f.T - sim.Time(k)*w})
+		e.T -= sim.Time(k) * w
+		out[k] = append(out[k], e)
 	}
 	for k := range out {
 		sort.SliceStable(out[k], func(i, j int) bool { return out[k][i].T < out[k][j].T })
@@ -107,18 +112,19 @@ type Plan struct {
 	// Seed is the fleet's shared seed: per-window protocol coins and the
 	// generated churn schedule both derive from it.
 	Seed int64
-	// Static lists operator-named departures on the stream's absolute
-	// clock (validityd's -kill in continuous mode, recorded traces).
-	Static churn.Schedule
+	// Static lists operator-named membership events on the stream's
+	// absolute clock (validityd's -kill in continuous mode, recorded
+	// traces): departures and +host@tick joins alike.
+	Static churn.Timeline
 	// Source generates churn on the stream's absolute clock over the full
 	// horizon [0, N·W]; nil means only Static applies.
 	Source churn.Source
 
 	once   sync.Once
 	err    error
-	abs    churn.Schedule
+	abs    churn.Timeline
 	ix     *churn.Index
-	slices []churn.Schedule
+	slices []churn.Timeline
 }
 
 // Validate normalizes defaults and rejects inconsistent plans.
@@ -141,7 +147,7 @@ func (p *Plan) Validate() error {
 	}
 	for _, f := range p.Static {
 		if f.H == p.Spec.Hq {
-			return fmt.Errorf("stream: monitoring host %d scheduled to fail at %d; it must outlive the run", f.H, f.T)
+			return fmt.Errorf("stream: monitoring host %d scheduled to %s at %d; it must outlive the whole run", f.H, f.Kind, f.T)
 		}
 	}
 	return nil
@@ -179,19 +185,21 @@ func (p *Plan) WindowStart(k int) sim.Time { return sim.Time(k) * p.WindowLen }
 // WindowEnd returns window k's closing tick on the stream clock.
 func (p *Plan) WindowEnd(k int) sim.Time { return sim.Time(k+1) * p.WindowLen }
 
-// Schedule returns the stream's absolute failure schedule.
-func (p *Plan) Schedule() (churn.Schedule, error) {
+// Schedule returns the stream's absolute membership timeline.
+func (p *Plan) Schedule() (churn.Timeline, error) {
 	if err := p.init(); err != nil {
 		return nil, err
 	}
 	return p.abs, nil
 }
 
-// WindowSchedule derives window k's failure schedule in ticks of the
-// window sub-query's own clock: hosts that departed before the window
-// opens enter dead at tick 0, and the window's own slice of the absolute
-// schedule applies at re-based ticks.
-func (p *Plan) WindowSchedule(k int) (churn.Schedule, error) {
+// WindowSchedule derives window k's membership timeline in ticks of the
+// window sub-query's own clock: hosts absent when the window opens —
+// departed earlier, or late joiners still to arrive — enter dead at tick
+// 0, and the window's own slice of the absolute timeline applies at
+// re-based ticks (so a host rejoining mid-window enters dead and comes
+// alive at its re-based join tick).
+func (p *Plan) WindowSchedule(k int) (churn.Timeline, error) {
 	if err := p.init(); err != nil {
 		return nil, err
 	}
@@ -199,11 +207,28 @@ func (p *Plan) WindowSchedule(k int) (churn.Schedule, error) {
 		return nil, fmt.Errorf("stream: window %d outside the %d-window stream", k, p.Windows)
 	}
 	start := p.WindowStart(k)
-	var out churn.Schedule
-	// Strictly-before carryover: a departure at exactly the window's
-	// opening tick is window k's own slice entry (re-based to 0).
-	for _, h := range p.ix.FailedBy(start - 1) {
-		out = append(out, churn.Failure{H: h, T: 0})
+	// Carryover: every host the timeline mentions that is not a member
+	// just before the window opens enters it dead at tick 0 — the
+	// engine's was-never-a-member convention. "Just before" keeps the
+	// boundary rule: an event at exactly k·w is window k's own slice
+	// entry (re-based to 0), so it must not also be carried over. For
+	// window 0 the opening state is initial membership itself. Emission
+	// follows the timeline's event order, keeping the derivation
+	// byte-identical across processes.
+	var out churn.Timeline
+	seen := make(map[graph.HostID]bool)
+	for _, e := range p.abs {
+		if seen[e.H] {
+			continue
+		}
+		seen[e.H] = true
+		present := p.ix.InitialMember(e.H)
+		if start > 0 {
+			present = p.ix.AliveAt(e.H, start-1)
+		}
+		if !present {
+			out = append(out, churn.Event{H: e.H, T: 0})
+		}
 	}
 	return churn.Merge(out, p.slices[k]), nil
 }

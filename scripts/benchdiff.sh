@@ -1,0 +1,68 @@
+#!/bin/sh
+# benchdiff: run the engine benchmark and diff it against the committed
+# BENCH_engine.json, so a perf regression shows up in review as a signed
+# percentage instead of an unexplained number swap.
+#
+#   scripts/benchdiff.sh             # committed HEAD json vs a fresh run
+#   scripts/benchdiff.sh old.json    # old.json vs a fresh run
+#   scripts/benchdiff.sh old new     # two existing runs, no benching
+#
+# Throughput keys (queries/sec, windows/sec) are compared numerically;
+# a drop beyond the threshold (default 20%, override BENCHDIFF_PCT)
+# exits non-zero. Timing noise on loaded machines is real — treat a
+# red result as "rerun and look", not as proof by itself.
+set -e
+
+cd "$(dirname "$0")/.."
+THRESHOLD=${BENCHDIFF_PCT:-20}
+
+OLD=$1
+NEW=$2
+
+TMPFILES=""
+trap 'rm -f $TMPFILES' EXIT
+
+if [ -z "$OLD" ]; then
+    # The committed baseline: HEAD's BENCH_engine.json if git has one,
+    # else the working-tree file.
+    OLD=$(mktemp)
+    TMPFILES="$TMPFILES $OLD"
+    if ! git show HEAD:BENCH_engine.json >"$OLD" 2>/dev/null; then
+        cp BENCH_engine.json "$OLD"
+    fi
+fi
+
+if [ -z "$NEW" ]; then
+    NEW=$(mktemp)
+    TMPFILES="$TMPFILES $NEW"
+    echo "benchdiff: running the engine benchmark..."
+    BENCH_ENGINE_OUT="$NEW" go test ./internal/daemon -run TestBenchEngine -count=1 >/dev/null
+fi
+
+# The report is flat one-key-per-line JSON; awk extracts "key": number
+# pairs and joins the two files on key.
+awk -v threshold="$THRESHOLD" '
+    match($0, /"[a-z_]+": [0-9.]+,?$/) {
+        line = substr($0, RSTART, RLENGTH)
+        gsub(/[",:]/, "", line)
+        split(line, kv, " ")
+        if (FNR == NR) old[kv[1]] = kv[2]
+        else           new[kv[1]] = kv[2]
+    }
+    END {
+        fail = 0
+        printf "%-26s %12s %12s %9s\n", "metric", "old", "new", "delta"
+        for (k in old) {
+            if (!(k in new) || old[k] == 0) continue
+            if (k !~ /per_sec/) continue # config knobs are not throughput
+            pct = (new[k] - old[k]) * 100 / old[k]
+            flag = ""
+            if (pct < -threshold) { flag = "  << REGRESSION"; fail = 1 }
+            printf "%-26s %12.2f %12.2f %+8.1f%%%s\n", k, old[k], new[k], pct, flag
+        }
+        exit fail
+    }
+' "$OLD" "$NEW" || {
+    echo "benchdiff: throughput dropped more than ${THRESHOLD}% on at least one metric" >&2
+    exit 1
+}

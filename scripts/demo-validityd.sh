@@ -8,12 +8,17 @@
 #
 # The -churn grammar (ticks are δ units on each query's own clock):
 #   -churn rate=R[,window=W]                 R hosts leave uniformly over [0,W]
-#   -churn model=sessions,mean=M[,window=W]  exponential lifetimes, mean M
-#   -churn trace=FILE                        recorded host,tick CSV departures
-# -kill host@tick,... names explicit departures, also per query. Workers
-# regenerate every query's schedule from the shared seed and the query id
-# alone, so the same flags are handed to every process and no churn
-# coordination crosses the wire.
+#   -churn model=sessions,mean=M[,join=D][,window=W]
+#                                            exponential lifetimes, mean M;
+#                                            join=D rebirths departed hosts
+#                                            after exp downtimes, mean D
+#   -churn model=burst,hosts=A-B,at=T        hosts A..B leave together at T
+#   -churn trace=FILE                        recorded host,tick[,event] CSV
+# -kill host@tick,... names explicit departures and +host@tick joins (a
+# host whose first event is a join is absent until it arrives), also per
+# query. Workers regenerate every query's timeline from the shared seed
+# and the query id alone, so the same flags are handed to every process
+# and no churn coordination crosses the wire.
 #
 # The second act streams a continuous §4.2 query over its own fleet:
 # -continuous -windows N -window W turns the one query into N windowed
@@ -65,3 +70,35 @@ sleep 1 # let the workers bind their listeners
 
 # The same continuous stream fully in process via the channel transport:
 "$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count -hq 0 -hop 5ms $STREAM -query
+
+kill $W1 $W2 2>/dev/null || true
+wait $W1 $W2 2>/dev/null || true
+
+# Act three — host joins, end to end. A fresh three-process fleet where
+# host 45 (served by the third worker) is a late joiner: absent from
+# every query's tick 0, arriving at tick 6 of each query's own clock
+# (-kill +45@6) while host 29 departs at tick 4. H_U now exceeds the
+# initial host set — population growth the departures-only membership
+# layer could never express — and every bound pair is still recomputed
+# identically by every process from the shared flags alone.
+PEERS3="0-19=127.0.0.1:7121,20-39=127.0.0.1:7122,40-59=127.0.0.1:7123"
+JOINS="-kill 29@4,+45@6"
+COMMON3="-transport tcp -topology random -hosts 60 -seed 23 -peers $PEERS3 -agg count,min -hq 0,7 -dhat 12 -hop 5ms $JOINS"
+
+"$BIN" $COMMON3 -serve 20-39 &
+W1=$!
+"$BIN" $COMMON3 -serve 40-59 &
+W2=$!
+trap 'kill $W1 $W2 2>/dev/null || true' EXIT
+
+sleep 1 # let the workers bind their listeners
+"$BIN" $COMMON3 -serve 0-19 -query -queries 4 -concurrency 2
+
+kill $W1 $W2 2>/dev/null || true
+wait $W1 $W2 2>/dev/null || true
+
+# And a growing continuous window population, fully in process: two late
+# joiners land mid-run, so the per-window pop= column rises — watch it
+# climb 58, 59, 60 across the three windows.
+"$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count -hq 0 -hop 5ms \
+    -continuous -windows 3 -window 24 -kill +30@30,+31@55 -query

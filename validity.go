@@ -308,10 +308,16 @@ type QueryConfig struct {
 	SkipOracle bool
 }
 
-// Failure schedules host H to leave at virtual time T.
+// Failure schedules a membership event for host H at virtual time T: a
+// departure by default, an arrival when Join is set. A host whose first
+// event is a join is a late joiner — absent from the network until it
+// arrives, counted in H_U from then on (so H_U can exceed the initial
+// host set); a join after a departure is the same host returning for
+// another session.
 type Failure struct {
-	H int
-	T int64
+	H    int
+	T    int64
+	Join bool
 }
 
 // Result is one query run's outcome.
@@ -412,14 +418,14 @@ func (n *Network) Query(cfg QueryConfig) (*Result, error) {
 	}
 	nw := sim.NewNetwork(sim.Config{Graph: n.g, Medium: medium, Seed: seed, Values: n.values})
 
-	var sched churn.Schedule
+	var sched churn.Timeline
 	switch {
 	case cfg.Schedule != nil:
 		for _, f := range cfg.Schedule {
 			if f.H < 0 || f.H >= n.g.Len() {
 				return nil, fmt.Errorf("validity: failure host %d outside network", f.H)
 			}
-			sched = append(sched, churn.Failure{H: graph.HostID(f.H), T: sim.Time(f.T)})
+			sched = append(sched, eventOf(f))
 		}
 	case cfg.Failures > 0:
 		if cfg.Failures >= n.g.Len() {
@@ -429,6 +435,12 @@ func (n *Network) Query(cfg QueryConfig) (*Result, error) {
 		// schedules from; here the event loop consumes it directly.
 		src := churn.Uniform{N: n.g.Len(), Remove: cfg.Failures}
 		sched = src.Schedule(seed, q.Hq, q.Deadline())
+	}
+	if !sched.Index().InitialMember(q.Hq) {
+		// A query is issued AT h_q at time 0; a host that has not arrived
+		// yet cannot issue it (the continuous and stream paths reject the
+		// same misconfiguration).
+		return nil, fmt.Errorf("validity: querying host %d scheduled as a late joiner; it must be present when the query is issued", q.Hq)
 	}
 	sched.Apply(nw)
 
@@ -462,6 +474,15 @@ func (n *Network) Query(cfg QueryConfig) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// eventOf converts a public Failure spec to a membership-layer event.
+func eventOf(f Failure) churn.Event {
+	kind := churn.Leave
+	if f.Join {
+		kind = churn.Join
+	}
+	return churn.Event{H: graph.HostID(f.H), T: sim.Time(f.T), Kind: kind}
 }
 
 // fmFactor is the slack applied when judging FM-estimated results against

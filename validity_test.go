@@ -168,6 +168,45 @@ func TestExplicitSchedule(t *testing.T) {
 	}
 }
 
+func TestScheduleWithJoinGrowsHU(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Hosts:  4,
+		Edges:  [][2]int{{0, 1}, {1, 2}, {2, 3}},
+		Values: []int64{1, 2, 3, 4},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host 3 is a late joiner: absent at tick 0, arriving mid-query. It
+	// is in H_U (a member at some instant) but not H_C (no stable path
+	// over the whole interval) — the initial host set is 3, and H_U
+	// exceeds it.
+	res, err := net.Query(QueryConfig{
+		Aggregate: Count,
+		Protocol:  AllReport,
+		Schedule:  []Failure{{H: 3, T: 4, Join: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HU != 4 || res.HC != 3 {
+		t.Fatalf("HU=%d HC=%d, want 4/3: a mid-query join must grow H_U past the initial set", res.HU, res.HC)
+	}
+	if !res.Valid {
+		t.Fatalf("count %v judged invalid against [%v, %v]", res.Value, res.Lower, res.Upper)
+	}
+	// The querying host itself cannot be a late joiner: a query is issued
+	// AT h_q at time 0.
+	if _, err := net.Query(QueryConfig{
+		Aggregate: Count,
+		Protocol:  Wildfire,
+		Schedule:  []Failure{{H: 0, T: 5, Join: true}},
+	}); err == nil {
+		t.Fatal("late-joiner querying host accepted")
+	}
+}
+
 func TestWirelessAccountingCheaper(t *testing.T) {
 	mk := func(wireless bool) int64 {
 		net, err := NewNetwork(NetworkConfig{Topology: Grid, Hosts: 100, Seed: 6, Wireless: wireless})
