@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci fmt fmt-check demo bench benchdiff
+.PHONY: all build vet test race ci fmt fmt-check demo bench benchdiff metrics-smoke
 
 all: ci
 
@@ -18,10 +18,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate: compile everything, vet, enforce gofmt, and run the full
+# ci is the gate: compile everything, vet, enforce gofmt, run the full
 # suite under the race detector (the node runtime and transports are
-# concurrent code; plain `go test` would let scheduling bugs through).
-ci: build vet fmt-check race
+# concurrent code; plain `go test` would let scheduling bugs through),
+# and smoke-test the built binary's metrics endpoint end to end.
+ci: build vet fmt-check race metrics-smoke
+
+# metrics-smoke boots one validityd with -metrics on, scrapes /metrics
+# and /debug/queries mid-run, and asserts the counter families and the
+# query snapshot come back — the observability surface of the built
+# binary, not just the packages.
+metrics-smoke:
+	./scripts/metrics-smoke.sh
 
 fmt:
 	gofmt -l .

@@ -13,6 +13,7 @@ import (
 
 	"validity"
 	"validity/internal/graph"
+	"validity/internal/obs"
 	"validity/internal/topology"
 )
 
@@ -29,11 +30,19 @@ func main() {
 		wireless = flag.Bool("wireless", false, "sensor-radio message accounting (§5.3)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		vectors  = flag.Int("c", 8, "FM sketch repetitions for count/sum/avg")
+		logLevel = flag.String("log-level", "info", "diagnostic log level on stderr: debug | info | warn | error")
 	)
 	flag.Parse()
 
-	fail := func(err error) {
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
+	fail := func(err error) {
+		logger.Error("netsim failed", "err", err)
 		os.Exit(1)
 	}
 
@@ -72,6 +81,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	logger.Debug("running query", "topology", *topo, "hosts", *hosts,
+		"agg", *aggName, "protocol", *proto, "failures", *failures)
 	protoKind, err := validity.ParseProtocol(*proto)
 	if err != nil {
 		fail(err)

@@ -14,21 +14,30 @@ import (
 	"sort"
 
 	"validity/internal/graph"
+	"validity/internal/obs"
 	"validity/internal/topology"
 )
 
 func main() {
 	var (
-		topo  = flag.String("topology", "random", "random | power-law | grid | gnutella")
-		hosts = flag.Int("hosts", 1000, "network size |H|")
-		seed  = flag.Int64("seed", 1, "random seed")
-		edges = flag.Bool("edges", false, "dump the edge list instead of statistics")
+		topo     = flag.String("topology", "random", "random | power-law | grid | gnutella")
+		hosts    = flag.Int("hosts", 1000, "network size |H|")
+		seed     = flag.Int64("seed", 1, "random seed")
+		edges    = flag.Bool("edges", false, "dump the edge list instead of statistics")
+		logLevel = flag.String("log-level", "info", "diagnostic log level on stderr: debug | info | warn | error")
 	)
 	flag.Parse()
 
+	level, lerr := obs.ParseLevel(*logLevel)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", lerr)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
 	kind, err := topology.ParseKind(*topo)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "topogen:", err)
+		logger.Error("topogen failed", "err", err)
 		os.Exit(2)
 	}
 	g := topology.Generate(kind, *hosts, *seed)

@@ -19,20 +19,29 @@ import (
 	"strings"
 
 	"validity/internal/experiment"
+	"validity/internal/obs"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "experiment ID to run (see -list); comma-separated for several")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		scale   = flag.Float64("scale", 0.1, "workload scale relative to the paper (1 = full size)")
-		trials  = flag.Int("trials", 0, "trials per data point (0 = paper's 10)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		verbose = flag.Bool("v", false, "print progress while running")
-		asCSV   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		fig      = flag.String("fig", "", "experiment ID to run (see -list); comma-separated for several")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		scale    = flag.Float64("scale", 0.1, "workload scale relative to the paper (1 = full size)")
+		trials   = flag.Int("trials", 0, "trials per data point (0 = paper's 10)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		verbose  = flag.Bool("v", false, "print progress while running")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		logLevel = flag.String("log-level", "info", "diagnostic log level on stderr: debug | info | warn | error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validitybench:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -48,7 +57,7 @@ func main() {
 	case *fig != "":
 		ids = strings.Split(*fig, ",")
 	default:
-		fmt.Fprintln(os.Stderr, "validitybench: pass -fig <id> or -all (see -list)")
+		logger.Error("pass -fig <id> or -all (see -list)")
 		os.Exit(2)
 	}
 
@@ -60,17 +69,18 @@ func main() {
 		id = strings.TrimSpace(id)
 		run, err := experiment.Lookup(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "validitybench:", err)
+			logger.Error("unknown experiment", "err", err)
 			os.Exit(2)
 		}
+		logger.Debug("running experiment", "id", id, "scale", *scale)
 		table, err := run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "validitybench: %s: %v\n", id, err)
+			logger.Error("experiment failed", "id", id, "err", err)
 			os.Exit(1)
 		}
 		if *asCSV {
 			if err := table.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "validitybench: %s: %v\n", id, err)
+				logger.Error("experiment failed", "id", id, "err", err)
 				os.Exit(1)
 			}
 			continue

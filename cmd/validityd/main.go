@@ -50,13 +50,32 @@
 //
 //	validityd -transport chan -topology random -hosts 60 -seed 23 \
 //	    -agg count,min -hq 0,7 -churn rate=6 -query -queries 8 -concurrency 2
+//
+// Observability: every process carries a metrics registry and a per-query
+// event tracer; -metrics ADDR exposes them over HTTP — Prometheus text
+// exposition on /metrics (engine demux/drop counters, §6.3 sends and
+// bytes, per-peer transport traffic, query latency histograms), a JSON
+// snapshot of live and retired queries on /debug/queries, and the
+// standard pprof handlers under /debug/pprof/. Port 0 picks a free port;
+// the bound address is logged. Machine-parsed result lines stay on
+// stdout; diagnostics go to stderr as leveled slog lines filtered by
+// -log-level (debug | info | warn | error). A query whose issue→answer
+// latency exceeds -slow-query (default 1.5× its 2·D̂δ deadline) dumps its
+// trace ring — issue, first traffic, churn transitions, drops, answer —
+// at warn level:
+//
+//	validityd -transport chan -hosts 60 -query -queries 8 \
+//	    -metrics 127.0.0.1:7190 -log-level debug
+//	curl -s http://127.0.0.1:7190/metrics
+//	curl -s http://127.0.0.1:7190/debug/queries
 package main
 
 import (
-	"fmt"
+	"log/slog"
 	"os"
 
 	"validity/internal/daemon"
+	"validity/internal/obs"
 )
 
 func main() {
@@ -65,7 +84,13 @@ func main() {
 		os.Exit(2) // flag package already printed the message
 	}
 	if err := daemon.Run(cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "validityd:", err)
+		// Run validates -log-level itself; fall back to info if it was the
+		// invalid flag.
+		level, lerr := obs.ParseLevel(cfg.LogLevel)
+		if lerr != nil {
+			level = slog.LevelInfo
+		}
+		obs.NewLogger(os.Stderr, level).Error("validityd failed", "err", err)
 		os.Exit(1)
 	}
 }

@@ -53,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -64,6 +65,7 @@ import (
 	"validity/internal/churn"
 	"validity/internal/graph"
 	"validity/internal/node"
+	"validity/internal/obs"
 	"validity/internal/oracle"
 	"validity/internal/protocol"
 	"validity/internal/sim"
@@ -152,8 +154,31 @@ type Config struct {
 	// RunFor bounds a non-query process's lifetime (0 = serve forever).
 	RunFor time.Duration
 
-	// Out receives the report lines (defaults to os.Stdout).
-	Out io.Writer
+	// Metrics, when non-empty, serves the observability endpoints on this
+	// address: Prometheus text exposition on /metrics, a JSON snapshot of
+	// live and retired queries on /debug/queries, and net/http/pprof under
+	// /debug/pprof/. Port 0 picks a free port; the bound address is logged.
+	Metrics string
+	// LogLevel filters the diagnostic log on stderr: debug | info | warn |
+	// error ("" = info). Result lines on stdout are unaffected.
+	LogLevel string
+	// SlowQuery is the issue→answer latency above which a query's trace
+	// ring is dumped at warn level; 0 derives 1.5× the query's wall-clock
+	// termination deadline 2·D̂δ.
+	SlowQuery time.Duration
+
+	// Obs and Trace override the process's metrics registry and query
+	// tracer (the bench harness injects a registry to read the latency
+	// histograms). Nil means Run creates its own — every daemon process is
+	// instrumented; -metrics only controls the HTTP endpoint.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
+
+	// Out receives the report lines (defaults to os.Stdout). LogOut
+	// receives the diagnostic slog lines (defaults to os.Stderr), kept
+	// separate so the machine-parsed result lines stay byte-stable.
+	Out    io.Writer
+	LogOut io.Writer
 }
 
 // Flags binds a Config to a FlagSet, so cmd/validityd and the test
@@ -181,6 +206,9 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.StringVar(&cfg.Kill, "kill", "", "membership events host@tick (leave, §3.2) and +host@tick (join), per query on its own clock")
 	fs.StringVar(&cfg.Churn, "churn", "", "per-query churn model: rate=R[,window=W], model=sessions,mean=M[,join=D][,window=W], model=burst,hosts=A-B,at=T, or trace=FILE (ticks on each query's clock)")
 	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = forever)")
+	fs.StringVar(&cfg.Metrics, "metrics", "", "serve /metrics, /debug/queries, and /debug/pprof/ on this address (e.g. 127.0.0.1:7190; port 0 picks one)")
+	fs.StringVar(&cfg.LogLevel, "log-level", "info", "diagnostic log level on stderr: debug | info | warn | error")
+	fs.DurationVar(&cfg.SlowQuery, "slow-query", 0, "dump a query's trace when issue→answer latency exceeds this (0 = 1.5× the 2·D̂δ deadline)")
 	return cfg
 }
 
@@ -437,6 +465,26 @@ func Run(cfg *Config) error {
 	if out == nil {
 		out = os.Stdout
 	}
+	logOut := cfg.LogOut
+	if logOut == nil {
+		logOut = os.Stderr
+	}
+	level, err := obs.ParseLevel(cfg.LogLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(logOut, level)
+	// Every daemon process is instrumented — a registry and tracer cost one
+	// atomic add per hot-path event — and -metrics merely decides whether
+	// they are scrapeable. Tests and the bench harness inject their own.
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := cfg.Trace
+	if tracer == nil {
+		tracer = obs.NewTracer(0, 0) // defaults
+	}
 	if err := validate(cfg); err != nil {
 		return err
 	}
@@ -491,7 +539,9 @@ func Run(cfg *Config) error {
 		if local, err = parseHostSet(cfg.Serve, n); err != nil {
 			return err
 		}
-		tr = transport.NewTCP(addrs)
+		tcp := transport.NewTCP(addrs)
+		tcp.Obs = reg
+		tr = tcp
 	}
 
 	rt, err := node.New(node.Config{
@@ -500,6 +550,8 @@ func Run(cfg *Config) error {
 		Transport: tr,
 		Hop:       cfg.Hop,
 		Local:     local,
+		Obs:       reg,
+		Trace:     tracer,
 	})
 	if err != nil {
 		return err
@@ -578,6 +630,15 @@ func Run(cfg *Config) error {
 		return err
 	}
 	defer rt.Stop()
+	if cfg.Metrics != "" {
+		stop, err := startMetricsServer(cfg.Metrics, rt, reg, logger)
+		if err != nil {
+			return fmt.Errorf("daemon: -metrics %s: %w", cfg.Metrics, err)
+		}
+		defer stop()
+	}
+	logger.Debug("engine started", "hosts", len(localOrAll(local, n)), "of", n,
+		"transport", cfg.Transport, "hop", cfg.Hop.String())
 
 	if !cfg.Query {
 		lifetime := "indefinitely"
@@ -605,7 +666,7 @@ func Run(cfg *Config) error {
 	}
 	fmt.Fprintf(out, "validityd: wildfire over %d hosts, D̂=%d, δ=%v, transport=%s: %d queries, concurrency %d, agg=%s, hq=%s%s\n",
 		n, dHat, cfg.Hop, cfg.Transport, cfg.Queries, cfg.Concurrency, cfg.Agg, cfg.Hq, churnNote)
-	return runQueryStream(cfg, rt, g, values, plan, specFor, out)
+	return runQueryStream(cfg, rt, g, values, plan, specFor, out, logger, tracer)
 }
 
 // runContinuous drives one continuous query over the running engine: the
@@ -661,8 +722,14 @@ func runContinuous(cfg *Config, rt *node.Runtime, splan *stream.Plan, out io.Wri
 // cfg.Concurrency in flight, printing each result against the oracle
 // bounds of its own membership timeline and a closing throughput summary.
 func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int64,
-	plan *churnPlan, specFor func(node.QueryID) protocol.Query, out io.Writer) error {
+	plan *churnPlan, specFor func(node.QueryID) protocol.Query, out io.Writer,
+	logger *slog.Logger, tracer *obs.Tracer) error {
 
+	// Issue→answer latency feeds the same histogram type the engine's
+	// exposition serves; the bench harness reads its quantiles for the
+	// latency_ms_p50/p95/p99 report keys.
+	lath := rt.Obs().Histogram("daemon_query_latency_ms",
+		"Issue to answer-in-hand wall time of one-shot queries, ms.", obs.LatencyBucketsMs)
 	var (
 		mu         sync.Mutex // serializes result lines and totals
 		firstErr   error
@@ -713,6 +780,13 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 			// transport layer, TestTCPWarmPreDials, and at runtime boot,
 			// TestRuntimeWarmsTransportAtStart).
 			lat := time.Since(qStart)
+			lath.Observe(float64(lat) / float64(time.Millisecond))
+			if cfg.Hop > 0 {
+				tracer.Record(int64(id), obs.EvAnswered, -1, int64(lat/cfg.Hop), "")
+			}
+			if threshold := slowThreshold(cfg, time.Duration(spec.Deadline())*cfg.Hop); lat > threshold {
+				logSlowQuery(logger, tracer, id, lat, threshold)
+			}
 			// Each query is judged against its own H_C/H_U: the oracle is
 			// handed the query's own schedule on the query's own clock.
 			b := oracle.Compute(g, values, spec.Hq, plan.forQuery(id, spec.Hq, spec.Deadline()),

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"validity/internal/obs"
 )
 
 // TestConflictingFlagsRejected pins the flag-validation contract: flag
@@ -218,7 +220,11 @@ func TestBenchEngine(t *testing.T) {
 		churnRate   = 6
 	)
 	churnSpec := "rate=" + strconv.Itoa(churnRate) + ",window=12"
-	runStream := func(extra ...string) float64 {
+	// Each regime runs on its own registry so the daemon_query_latency_ms
+	// histogram holds exactly that regime's observations — throughput says
+	// how fast the stream drained, the tail percentiles say what a single
+	// query paid for it.
+	runStream := func(extra ...string) (float64, *obs.Histogram) {
 		t.Helper()
 		var out bytes.Buffer
 		args := append([]string{
@@ -233,14 +239,19 @@ func TestBenchEngine(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg.Out = &out
+		cfg.Obs = obs.NewRegistry()
 		start := time.Now()
 		if err := Run(cfg); err != nil {
 			t.Fatalf("bench stream %v failed: %v\n%s", extra, err, out.String())
 		}
-		return float64(queries) / time.Since(start).Seconds()
+		lat := cfg.Obs.Histogram("daemon_query_latency_ms", "", obs.LatencyBucketsMs)
+		if lat.Count() != queries {
+			t.Fatalf("bench stream %v observed %d latencies, want %d", extra, lat.Count(), queries)
+		}
+		return float64(queries) / time.Since(start).Seconds(), lat
 	}
-	staticQPS := runStream()
-	churnQPS := runStream("-churn", churnSpec)
+	staticQPS, staticLat := runStream()
+	churnQPS, churnLat := runStream("-churn", churnSpec)
 
 	// Join churn: session lifetimes with rebirth, so queries run over a
 	// population that shrinks AND grows — the arrivals regime the event
@@ -248,7 +259,7 @@ func TestBenchEngine(t *testing.T) {
 	// deadline keeps most hosts up at any instant while still cycling
 	// sessions through every query.
 	joinSpec := "model=sessions,mean=60,join=20"
-	joinQPS := runStream("-churn", joinSpec)
+	joinQPS, joinLat := runStream("-churn", joinSpec)
 
 	// Continuous throughput: one windowed query streamed in process, static
 	// and churned, measured in windows/sec. Window length stays at the §4.2
@@ -290,6 +301,13 @@ func TestBenchEngine(t *testing.T) {
 		"queries_per_sec_churn": churnQPS,
 		"join_churn_spec":       joinSpec,
 		"queries_per_sec_join":  joinQPS,
+		"latency_ms_p50":        staticLat.Quantile(0.50),
+		"latency_ms_p95":        staticLat.Quantile(0.95),
+		"latency_ms_p99":        staticLat.Quantile(0.99),
+		"latency_ms_p95_churn":  churnLat.Quantile(0.95),
+		"latency_ms_p99_churn":  churnLat.Quantile(0.99),
+		"latency_ms_p95_join":   joinLat.Quantile(0.95),
+		"latency_ms_p99_join":   joinLat.Quantile(0.99),
 		"windows":               benchWindows,
 		"windows_per_sec":       staticWPS,
 		"windows_per_sec_churn": churnWPS,
@@ -302,6 +320,8 @@ func TestBenchEngine(t *testing.T) {
 	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("%.2f static / %.2f churned / %.2f join-churned queries/sec, %.2f static / %.2f churned / %.2f join-churned windows/sec over %d hosts -> %s",
-		staticQPS, churnQPS, joinQPS, staticWPS, churnWPS, joinWPS, hosts, outPath)
+	t.Logf("%.2f static / %.2f churned / %.2f join-churned queries/sec (static p50/p95/p99 %.0f/%.0f/%.0f ms), %.2f static / %.2f churned / %.2f join-churned windows/sec over %d hosts -> %s",
+		staticQPS, churnQPS, joinQPS,
+		staticLat.Quantile(0.50), staticLat.Quantile(0.95), staticLat.Quantile(0.99),
+		staticWPS, churnWPS, joinWPS, hosts, outPath)
 }

@@ -1,0 +1,80 @@
+package daemon
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"validity/internal/node"
+	"validity/internal/obs"
+)
+
+// The daemon's observability surface: every validityd process carries a
+// metrics registry and a query tracer (creating them is cheap and the hot
+// paths pay one atomic add either way), and -metrics exposes them over
+// HTTP — Prometheus text exposition on /metrics, a JSON snapshot of live
+// and retired queries on /debug/queries, and the standard pprof handlers
+// under /debug/pprof/. The listener supports port 0; the bound address is
+// logged so scripts (and the CI smoke test) can scrape without guessing.
+
+// debugQueries is the /debug/queries payload: every query with live state
+// on this process plus the compacted summaries of recently retired ones.
+type debugQueries struct {
+	Live    []node.QuerySnapshot `json:"live"`
+	Retired []node.RetiredStats  `json:"retired"`
+}
+
+// startMetricsServer serves the observability endpoints on addr and
+// returns a stop function. It fails fast on a bad address — a typo'd
+// -metrics must not silently run unobservable.
+func startMetricsServer(addr string, rt *node.Runtime, reg *obs.Registry, logger *slog.Logger) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(reg))
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(debugQueries{Live: rt.QuerySnapshots(), Retired: rt.RetiredStats()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	logger.Info("metrics listening", "addr", ln.Addr().String())
+	return func() { srv.Close() }, nil
+}
+
+// slowThreshold is the issue→answer latency above which a query is logged
+// as slow with its trace ring: the configured value, or 1.5× the query's
+// wall-clock termination deadline 2·D̂δ — a converged query answers well
+// inside the deadline, so anything past this is worth a dump.
+func slowThreshold(cfg *Config, deadline time.Duration) time.Duration {
+	if cfg.SlowQuery > 0 {
+		return cfg.SlowQuery
+	}
+	return deadline + deadline/2
+}
+
+// logSlowQuery dumps one slow query: a warn line with the latency and
+// threshold, then the query's trace ring — the per-event history of what
+// the engine did (and dropped) on its behalf.
+func logSlowQuery(logger *slog.Logger, tracer *obs.Tracer, id node.QueryID, lat, threshold time.Duration) {
+	logger.Warn("slow query", "query", int64(id),
+		"lat_ms", lat.Milliseconds(), "threshold_ms", threshold.Milliseconds())
+	for _, ev := range tracer.Events(int64(id)) {
+		logger.Warn("slow query trace", "query", int64(id),
+			"event", ev.KindName, "host", ev.Host, "tick", ev.Tick,
+			"count", ev.Count, "detail", ev.Detail,
+			"wall", ev.Wall.Format(time.RFC3339Nano))
+	}
+}

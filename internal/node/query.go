@@ -8,6 +8,7 @@ import (
 
 	"validity/internal/churn"
 	"validity/internal/graph"
+	"validity/internal/obs"
 	"validity/internal/protocol"
 	"validity/internal/sim"
 	"validity/internal/transport"
@@ -92,6 +93,9 @@ func (rt *Runtime) StartQuery(id QueryID) (*QueryInstance, error) {
 	}
 	if !created {
 		return nil, fmt.Errorf("node: query %d already instantiated", id)
+	}
+	if rt.trace != nil {
+		rt.trace.Record(int64(id), obs.EvIssued, -1, 0, "")
 	}
 	for _, h := range rt.localHosts {
 		rt.enqueue(h, item{kind: itemStart, qs: qs})
@@ -188,6 +192,7 @@ func (rt *Runtime) queryForErr(id QueryID, create bool) (*queryState, bool, erro
 			e.err = fmt.Errorf("node: instantiating query %d: %w", id, err)
 		} else {
 			qs = newQueryState(rt, id, inst, inst.Deadline)
+			rt.met.instantiated.Inc()
 		}
 		// Publish under rt.mu: lookupQuery/Stats read e.qs without going
 		// through the once.
@@ -225,6 +230,10 @@ func (rt *Runtime) retire(qs *queryState) {
 	}
 	qs.retired.Store(true)
 	qs.inst.Store(nil)
+	rt.met.retired.Inc()
+	if rt.trace != nil {
+		rt.trace.Record(int64(qs.id), obs.EvRetired, -1, qs.tickNow(rt), "")
+	}
 	for _, h := range rt.localHosts {
 		rt.dispatch(h, item{kind: itemRetire, qs: qs})
 	}
@@ -372,6 +381,9 @@ func (qs *queryState) armClock(rt *Runtime) {
 	qs.clockOnce.Do(func() {
 		t := time.Now()
 		qs.clockStart.Store(&t)
+		if rt.trace != nil {
+			rt.trace.Record(int64(qs.id), obs.EvFirstTraffic, -1, 0, "")
+		}
 		if qs.membership != nil {
 			for _, h := range rt.localHosts {
 				for _, e := range qs.membership.HostEvents(h) {
@@ -455,11 +467,16 @@ func (b *queryBackend) Send(from, to graph.HostID, payload any, chain int) {
 		return // a departed host says nothing more (§3.2), per query here
 	}
 	qs.armClock(rt)
+	size := int64(payloadWireSize(payload))
 	qs.sent.Add(1)
-	qs.bytes.Add(int64(payloadWireSize(payload)))
+	qs.bytes.Add(size)
+	rt.met.sent.Inc()
+	rt.met.bytesOut.Add(size)
 	err := rt.tr.Send(transport.Message{From: from, To: to, Query: qs.id, Chain: chain, Payload: payload})
 	if err != nil {
 		qs.dropped.Add(1)
+		rt.met.dropSendErr.Inc()
+		rt.traceDrop(qs, from, dropSendErr)
 	}
 }
 

@@ -1,5 +1,7 @@
 package node
 
+import "validity/internal/obs"
+
 // Retired-query compaction: a long-running fleet answers an unbounded
 // stream of queries, so per-query state must not accumulate forever.
 // Retirement (timer.go) already drops the protocol instance; one grace
@@ -116,6 +118,10 @@ func (rt *Runtime) compact(qs *queryState) {
 	delete(rt.queries, qs.id)
 	rt.retiredTotal.merge(snap)
 	rt.retired.push(summarize(qs.id, snap))
+	rt.met.compacted.Inc()
+	if rt.trace != nil {
+		rt.trace.Record(int64(qs.id), obs.EvCompacted, -1, qs.tickNow(rt), "")
+	}
 }
 
 // dropRetired counts one frame dropped at a retired query. It serializes
@@ -127,6 +133,8 @@ func (rt *Runtime) compact(qs *queryState) {
 // bump could land after the snapshot but before the fold no longer
 // exists.
 func (rt *Runtime) dropRetired(qs *queryState) {
+	rt.met.dropRetired.Inc()
+	rt.traceDrop(qs, -1, dropRetired)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if e := rt.queries[qs.id]; e != nil && e.qs == qs {

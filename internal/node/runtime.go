@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"validity/internal/graph"
+	"validity/internal/obs"
 	"validity/internal/sim"
 	"validity/internal/transport"
 )
@@ -103,6 +104,18 @@ type Config struct {
 	// Local lists the hosts this runtime serves; nil means all of them
 	// (the single-process case).
 	Local []graph.HostID
+	// Obs, when non-nil, receives the engine's metrics: demux and drop
+	// counters, §6.3 sends/bytes, query lifecycle counts, and sampled
+	// gauges for inbox depth and timer-heap length (see obs.go). Nil
+	// disables instrumentation at the cost of one branch per update. A
+	// registry must not be shared between runtimes in one process — the
+	// sampled gauges are per-runtime closures.
+	Obs *obs.Registry
+	// Trace, when non-nil, records per-query lifecycle events (issued,
+	// first traffic, churn transitions, frame-drop reasons, retirement,
+	// compaction) on bounded rings, each stamped with the query's own
+	// tick. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // Stats aggregates the §6.3 cost measures observed by this runtime for
@@ -201,6 +214,12 @@ type Runtime struct {
 	// blocks behind one slow host and per-host ordering is preserved.
 	omu      sync.Mutex
 	overflow map[graph.HostID][]item
+
+	// Observability (obs.go): nil obs/trace disable instrumentation; met
+	// holds pre-registered counters so hot paths never look anything up.
+	obs   *obs.Registry
+	trace *obs.Tracer
+	met   runtimeMetrics
 }
 
 // New builds a runtime over cfg. Single-query callers install handlers
@@ -251,6 +270,7 @@ func New(cfg Config) (*Runtime, error) {
 			rt.localHosts = append(rt.localHosts, graph.HostID(h))
 		}
 	}
+	rt.initObs(cfg.Obs, cfg.Trace)
 	rt.def = newQueryState(rt, DefaultQuery, nil, 0)
 	defEntry := &queryEntry{qs: rt.def}
 	defEntry.once.Do(func() {}) // pre-consumed: the default face has no factory
@@ -328,9 +348,13 @@ func (rt *Runtime) Start() error {
 // QueryID selects (or lazily instantiates) the query it belongs to.
 func (rt *Runtime) recvFunc(h graph.HostID) transport.RecvFunc {
 	return func(m transport.Message) {
+		rt.met.framesIn.Inc()
 		qs := rt.queryFor(m.Query, true)
 		if qs == nil {
-			return // unknown query and no factory to build it
+			// Unknown query and no factory to build it. Counted but not
+			// traced: hostile ids must not churn the tracer's query rings.
+			rt.met.dropUnknown.Inc()
+			return
 		}
 		if qs.retired.Load() {
 			// Serialized with compaction: the drop is folded exactly once
@@ -441,6 +465,8 @@ func (rt *Runtime) hostLoop(h graph.HostID) {
 			if !rt.aliveHost(h) {
 				if it.kind == itemMsg {
 					qs.dropped.Add(1)
+					rt.met.dropHostDead.Inc()
+					rt.traceDrop(qs, h, dropHostDead)
 				}
 				continue
 			}
@@ -458,6 +484,8 @@ func (rt *Runtime) hostLoop(h graph.HostID) {
 				// serving every other query of the fleet.
 				if it.kind == itemMsg {
 					qs.dropped.Add(1)
+					rt.met.dropQueryDead.Inc()
+					rt.traceDrop(qs, h, dropQueryDead)
 				}
 				continue
 			}
@@ -477,6 +505,7 @@ func (rt *Runtime) hostLoop(h graph.HostID) {
 				// explicit itemStart of the issuing process.
 				qs.startHost(rt, h, hd)
 				qs.delivered.Add(1)
+				rt.met.delivered.Inc()
 				atomic.AddInt64(&qs.processed[h], 1)
 				qs.observeChain(it.msg.Chain)
 				msg := sim.MakeMessage(it.msg.From, it.msg.To, it.msg.Payload, it.msg.Chain)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"validity/internal/graph"
+	"validity/internal/obs"
 	"validity/internal/sim"
 )
 
@@ -169,11 +170,15 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 	case tkTimer:
 		// dispatch, not enqueue: the loop must not block behind one
 		// congested inbox while other hosts' timers are due.
+		rt.met.timersFired.Inc()
 		rt.dispatch(e.h, item{kind: itemTimer, qs: e.qs, tag: e.tag, chain: e.chain})
 	case tkKill:
 		rt.Kill(e.h)
 	case tkQueryDead:
 		e.qs.markDead(e.h)
+		if rt.trace != nil {
+			rt.trace.Record(int64(e.qs.id), obs.EvChurnLeave, int(e.h), e.qs.tickNow(rt), "")
+		}
 	case tkQueryJoin:
 		// Un-suppress first, then hand the host goroutine a Start item:
 		// startHost is exactly-once per (query, host), so a rebirth (the
@@ -181,6 +186,9 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 		// late joiner's handler starts now — the same lazy
 		// instantiate-on-first-contact path worker shards already run.
 		e.qs.markAlive(e.h)
+		if rt.trace != nil {
+			rt.trace.Record(int64(e.qs.id), obs.EvChurnJoin, int(e.h), e.qs.tickNow(rt), "")
+		}
 		rt.dispatch(e.h, item{kind: itemStart, qs: e.qs})
 	case tkRetire:
 		rt.retire(e.qs)

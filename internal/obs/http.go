@@ -1,0 +1,12 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves reg in Prometheus text exposition format. A nil
+// registry serves an empty body, so wiring is unconditional.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteTo(w)
+	})
+}

@@ -1,0 +1,381 @@
+// Package obs is the engine's observability layer: a low-overhead
+// metrics registry (atomic counters, gauges, and fixed-bucket latency
+// histograms with percentile readouts), a bounded per-query event tracer,
+// Prometheus-style text exposition, and the leveled logger the daemon and
+// commands share.
+//
+// The paper's whole contribution is a cost/validity trade-off — §6.3
+// counts messages, bytes, and hosts processed per query — and this
+// package is how a *running* fleet surfaces those numbers continuously
+// instead of as one summary line per finished query: queue depths, dial
+// backoffs, churn transitions, drop reasons, and the latency distribution
+// behind every throughput mean.
+//
+// Design constraints, because the instrumented paths are the engine's
+// hottest:
+//
+//   - Allocation-free on the hot path. Metrics are registered once at
+//     construction; the instrumented code holds *Counter/*Gauge/*Histogram
+//     pointers and every update is a single atomic operation.
+//   - Nil-disabled. Every method of every metric type (and of Registry and
+//     Tracer) is safe on a nil receiver and costs exactly one predictable
+//     branch, so an uninstrumented runtime — in particular the sim layer's
+//     byte-for-byte deterministic paths — pays nothing and changes
+//     nothing.
+//   - Race-clean. Registration takes a mutex (cold); updates are atomics;
+//     exposition and quantile readouts take consistent-enough snapshots
+//     (per-value atomic loads) without stopping writers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add adds n (no-op on a nil receiver).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n (no-op on a nil receiver).
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is ≥ the value, with an implicit +Inf bucket
+// past the last bound. Buckets are fixed at registration so Observe is a
+// short linear scan plus one atomic add — no allocation, no lock.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// LatencyBucketsMs is the standard latency bucket layout, in milliseconds:
+// sub-hop to tens-of-seconds, roughly logarithmic.
+var LatencyBucketsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// Observe records v (no-op on a nil receiver).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (zero on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) estimated by linear
+// interpolation inside the bucket the quantile falls in. Observations in
+// the +Inf bucket report the last finite bound (the histogram cannot see
+// past it). An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := 0.0
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			if i < len(h.bounds) {
+				lower = h.bounds[i]
+			}
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.bounds) {
+				return lower // +Inf bucket: saturate at the last bound
+			}
+			upper := h.bounds[i]
+			within := (rank - float64(cum)) / float64(n)
+			if within < 0 {
+				within = 0
+			}
+			return lower + (upper-lower)*within
+		}
+		cum += n
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return lower
+}
+
+// kind discriminates the registry's metric slots.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metricSlot is one registered series: a base name, an optional rendered
+// label set, and the value of one kind.
+type metricSlot struct {
+	name   string // base metric name
+	labels string // rendered `{k="v",...}` or ""
+	help   string
+	kind   kind
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. All registration methods are idempotent — asking for
+// an already-registered (name, labels) pair returns the existing metric —
+// so independent subsystems can share series by name. A nil *Registry is
+// the disabled form: every method returns a nil metric whose operations
+// are one-branch no-ops.
+type Registry struct {
+	mu    sync.Mutex
+	slots map[string]*metricSlot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{slots: make(map[string]*metricSlot)}
+}
+
+// renderLabels turns "key=value" pairs into a canonical sorted
+// `{key="value"}` string.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	kv := make([]string, 0, len(labels))
+	for _, l := range labels {
+		i := strings.IndexByte(l, '=')
+		k, v := l, ""
+		if i >= 0 {
+			k, v = l[:i], l[i+1:]
+		}
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		kv = append(kv, fmt.Sprintf("%s=%q", k, v))
+	}
+	sort.Strings(kv)
+	return "{" + strings.Join(kv, ",") + "}"
+}
+
+// slot returns the series for (name, labels), creating it with mk if new.
+// A kind clash on an existing name is a programming error and panics —
+// silent misregistration would corrupt the exposition.
+func (r *Registry) slot(name, help string, k kind, labels []string, mk func(*metricSlot)) *metricSlot {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.slots[key]; ok {
+		if s.kind != k {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, k, s.kind))
+		}
+		return s
+	}
+	s := &metricSlot{name: name, labels: renderLabels(labels), help: help, kind: k}
+	mk(s)
+	r.slots[key] = s
+	return s
+}
+
+// Counter registers (or returns) a counter. Labels are "key=value" pairs
+// distinguishing series under one name. Nil registry returns nil.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.slot(name, help, kindCounter, labels, func(s *metricSlot) { s.c = &Counter{} }).c
+}
+
+// Gauge registers (or returns) a gauge. Nil registry returns nil.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.slot(name, help, kindGauge, labels, func(s *metricSlot) { s.g = &Gauge{} }).g
+}
+
+// GaugeFunc registers a gauge sampled by calling fn at exposition time —
+// the cheap way to surface queue depths and heap lengths without touching
+// the hot paths that change them. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.slot(name, help, kindGaugeFunc, labels, func(s *metricSlot) { s.gf = fn })
+}
+
+// Histogram registers (or returns) a fixed-bucket histogram with the
+// given ascending upper bounds. Nil registry returns nil.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.slot(name, help, kindHistogram, labels, func(s *metricSlot) {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		s.h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	}).h
+}
+
+// WriteTo renders every registered metric in Prometheus text exposition
+// format (sorted, so output is stable for tests and diffs) and reports
+// the bytes written.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	slots := make([]*metricSlot, 0, len(r.slots))
+	for _, s := range r.slots {
+		slots = append(slots, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].name != slots[j].name {
+			return slots[i].name < slots[j].name
+		}
+		return slots[i].labels < slots[j].labels
+	})
+
+	var b strings.Builder
+	lastName := ""
+	for _, s := range slots {
+		if s.name != lastName {
+			lastName = s.name
+			if s.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, s.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, s.labels, s.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, s.labels, s.g.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, s.labels, formatFloat(s.gf()))
+		case kindHistogram:
+			var cum int64
+			for i, bound := range s.h.bounds {
+				cum += s.h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", formatFloat(bound)), cum)
+			}
+			cum += s.h.counts[len(s.h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.name, s.labels, formatFloat(s.h.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.name, s.labels, s.h.Count())
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// withLabel merges one extra label into an already-rendered label string.
+func withLabel(rendered, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilDisabled pins the disabled form: a nil registry hands out nil
+// metrics and every operation on them is a no-op — the one-branch cost an
+// uninstrumented runtime pays.
+func TestNilDisabled(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", LatencyBucketsMs)
+	reg.GaugeFunc("gf", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(12)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if n, err := reg.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatalf("nil registry WriteTo = (%d, %v)", n, err)
+	}
+	var tr *Tracer
+	tr.Record(1, EvIssued, -1, 0, "")
+	if tr.Events(1) != nil || tr.Queries() != nil {
+		t.Fatal("nil tracer must read empty")
+	}
+}
+
+// TestRegistryIdempotent pins that re-registering a (name, labels) pair
+// returns the same metric, so subsystems can share series by name.
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "help", "reason=dead")
+	b := reg.Counter("x_total", "help", "reason=dead")
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := reg.Counter("x_total", "help", "reason=retired")
+	if a == other {
+		t.Fatal("distinct labels must return distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash must panic")
+		}
+	}()
+	reg.Gauge("x_total", "help", "reason=dead")
+}
+
+// TestRegistryHammer hammers counters, gauges, and a histogram from many
+// goroutines while a reader scrapes, then checks the totals are exact.
+// Run under -race this is the registry's concurrency proof.
+func TestRegistryHammer(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "")
+	g := reg.Gauge("hammer_gauge", "")
+	h := reg.Histogram("hammer_ms", "", []float64{1, 10, 100})
+	reg.GaugeFunc("hammer_func", "", func() float64 { return float64(c.Value()) })
+
+	const workers = 8
+	const perWorker = 5000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if _, err := reg.WriteTo(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramQuantiles checks the interpolated percentile readout
+// against a known uniform distribution.
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ms", "", []float64{10, 20, 50, 100, 200, 500, 1000})
+	// 1000 observations uniform over (0, 1000].
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	checks := []struct{ q, want, tol float64 }{
+		{0.50, 500, 1},  // falls inside (200,500]: exact by interpolation
+		{0.95, 950, 1},  // inside (500,1000]
+		{0.99, 990, 1},  // inside (500,1000]
+		{0.05, 50, 0.5}, // bucket boundary
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("q%.2f = %.2f, want %.2f ± %.1f", c.q, got, c.want, c.tol)
+		}
+	}
+	if got := h.Sum(); math.Abs(got-500500) > 1e-6 {
+		t.Errorf("sum = %v, want 500500", got)
+	}
+	// Everything beyond the last bound saturates there.
+	h2 := reg.Histogram("sat_ms", "", []float64{10})
+	h2.Observe(99999)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("overflow quantile = %v, want saturation at 10", got)
+	}
+}
+
+// TestExposition pins the Prometheus text format: HELP/TYPE headers,
+// sorted series, labeled counters, cumulative histogram buckets.
+func TestExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "b help", "reason=x").Add(3)
+	reg.Counter("b_total", "b help", "reason=y").Add(4)
+	reg.Gauge("a_gauge", "a help").Set(7)
+	h := reg.Histogram("c_ms", "c help", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(99)
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge a help
+# TYPE a_gauge gauge
+a_gauge 7
+# HELP b_total b help
+# TYPE b_total counter
+b_total{reason="x"} 3
+b_total{reason="y"} 4
+# HELP c_ms c help
+# TYPE c_ms histogram
+c_ms_bucket{le="1"} 1
+c_ms_bucket{le="5"} 2
+c_ms_bucket{le="+Inf"} 3
+c_ms_sum 102.5
+c_ms_count 3
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}

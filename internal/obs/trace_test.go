@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTraceRingBounded pins the per-query ring bound: recording more
+// distinct events than the ring holds keeps only the newest, oldest
+// evicted first.
+func TestTraceRingBounded(t *testing.T) {
+	tr := NewTracer(4, 4)
+	for i := 0; i < 10; i++ {
+		// Distinct hosts defeat coalescing, so each record is one entry.
+		tr.Record(1, EvFrameDrop, i, int64(i), "host-dead")
+	}
+	evs := tr.Events(1)
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 6 + i; ev.Host != want {
+			t.Fatalf("event %d has host %d, want %d (oldest must evict first)", i, ev.Host, want)
+		}
+		if ev.KindName != "frame-drop" {
+			t.Fatalf("event kind rendered as %q", ev.KindName)
+		}
+	}
+}
+
+// TestTraceCoalescing pins that identical consecutive events collapse
+// into one counted entry, so a drop storm cannot wash the lifecycle
+// events off the ring.
+func TestTraceCoalescing(t *testing.T) {
+	tr := NewTracer(4, 4)
+	tr.Record(7, EvIssued, -1, 0, "")
+	tr.Record(7, EvFirstTraffic, -1, 0, "")
+	for i := 0; i < 1000; i++ {
+		tr.Record(7, EvFrameDrop, 3, int64(i), "retired")
+	}
+	tr.Record(7, EvRetired, -1, 42, "")
+	evs := tr.Events(7)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4 (issued, first-traffic, coalesced drops, retired): %+v", len(evs), evs)
+	}
+	if evs[0].Kind != EvIssued || evs[1].Kind != EvFirstTraffic || evs[3].Kind != EvRetired {
+		t.Fatalf("lifecycle events lost to the drop storm: %+v", evs)
+	}
+	if drops := evs[2]; drops.Kind != EvFrameDrop || drops.Count != 1000 || drops.Tick != 999 {
+		t.Fatalf("coalesced drops = kind %v count %d tick %d, want frame-drop ×1000 at tick 999",
+			drops.Kind, drops.Count, drops.Tick)
+	}
+}
+
+// TestTraceQueryEviction pins the cross-query bound: tracking more
+// queries than the tracer holds evicts whole query rings oldest-first.
+func TestTraceQueryEviction(t *testing.T) {
+	tr := NewTracer(3, 8)
+	for q := int64(1); q <= 5; q++ {
+		tr.Record(q, EvIssued, -1, 0, "")
+	}
+	qs := tr.Queries()
+	if len(qs) != 3 || qs[0] != 3 || qs[2] != 5 {
+		t.Fatalf("tracked queries = %v, want [3 4 5]", qs)
+	}
+	if tr.Events(1) != nil {
+		t.Fatal("evicted query still has events")
+	}
+	if evs := tr.Events(5); len(evs) != 1 || evs[0].Kind != EvIssued {
+		t.Fatalf("surviving query lost its events: %+v", evs)
+	}
+}
+
+// TestTracerConcurrent hammers Record and Events from many goroutines —
+// the -race proof for the tracer's single lock.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tr.Record(int64(i%32), EvFrameDrop, w, int64(i), "query-dead")
+				if i%64 == 0 {
+					tr.Events(int64(i % 32))
+					tr.Queries()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(tr.Queries()) != 16 {
+		t.Fatalf("tracker holds %d queries, want the 16-query bound", len(tr.Queries()))
+	}
+}

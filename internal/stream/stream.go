@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"validity/internal/node"
+	"validity/internal/obs"
 	"validity/internal/oracle"
 )
 
@@ -55,6 +56,9 @@ type Stream struct {
 	opened []chan opening
 	quit   chan struct{}
 	once   sync.Once
+	// lat is window-open→answer-in-hand latency on the runtime's registry
+	// (nil when the runtime is uninstrumented).
+	lat *obs.Histogram
 }
 
 // opening records when a window's sub-query was issued.
@@ -86,6 +90,8 @@ func Start(rt *node.Runtime, p *Plan) (*Stream, error) {
 	for k := range s.opened {
 		s.opened[k] = make(chan opening, 1)
 	}
+	s.lat = rt.Obs().Histogram("stream_window_latency_ms",
+		"Window open to answer-in-hand wall time, ms.", obs.LatencyBucketsMs)
 	for k := 0; k < p.Windows; k++ {
 		k := k
 		rt.After(time.Duration(p.WindowStart(k))*hop, func() { s.open(k) })
@@ -164,6 +170,7 @@ func (s *Stream) collect() {
 		}
 		v, ok, err := s.rt.AwaitQueryResult(id, spec.Hq, f, settle, c)
 		res.Latency = time.Since(op.at)
+		s.lat.Observe(float64(res.Latency) / float64(time.Millisecond))
 		if err == nil && !ok {
 			err = fmt.Errorf("stream: window %d declared no result at h_q=%d", k, spec.Hq)
 		}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"validity/internal/graph"
+	"validity/internal/obs"
 )
 
 // maxFrame bounds one wire frame. Protocol messages are a few hundred
@@ -53,6 +54,17 @@ type TCP struct {
 	DialBackoff    time.Duration
 	DialBackoffMax time.Duration
 
+	// Obs, when set before Open, receives the transport's wire metrics:
+	// dial attempts and backoff sleeps, inbound frames/bytes, and outbound
+	// frames/bytes per peer address. Nil leaves the transport
+	// uninstrumented (every update is one nil branch).
+	Obs *obs.Registry
+
+	// met holds the pre-registered counters, built once in Open; its
+	// per-peer maps are read-only afterwards, so Send touches no lock for
+	// metrics. The zero value (all nil) is the disabled form.
+	met tcpMetrics
+
 	mu        sync.Mutex
 	recv      map[graph.HostID]RecvFunc
 	dead      map[graph.HostID]bool
@@ -63,6 +75,48 @@ type TCP struct {
 	closed    bool
 	quit      chan struct{}
 	wg        sync.WaitGroup
+}
+
+// tcpMetrics is the transport's pre-registered counter set; nil counters
+// (no registry) make every update a no-op.
+type tcpMetrics struct {
+	dialAttempts *obs.Counter
+	dialBackoffs *obs.Counter
+	framesIn     *obs.Counter
+	bytesIn      *obs.Counter
+	framesOut    map[string]*obs.Counter // by peer address
+	bytesOut     map[string]*obs.Counter
+}
+
+// initMetrics registers the transport's counters, one labeled series per
+// distinct peer address for the outbound pair. Called from Open under t.mu.
+func (t *TCP) initMetrics() {
+	reg := t.Obs
+	if reg == nil {
+		return
+	}
+	t.met = tcpMetrics{
+		dialAttempts: reg.Counter("transport_dial_attempts_total", "Outbound TCP dial attempts (including retries)."),
+		dialBackoffs: reg.Counter("transport_dial_backoffs_total", "Backoff sleeps between failed dial attempts."),
+		framesIn:     reg.Counter("transport_frames_in_total", "Frames decoded off inbound connections."),
+		bytesIn:      reg.Counter("transport_bytes_in_total", "Wire bytes read off inbound connections (length prefix included)."),
+		framesOut:    make(map[string]*obs.Counter),
+		bytesOut:     make(map[string]*obs.Counter),
+	}
+	local := make(map[string]bool, len(t.recv))
+	for h := range t.recv {
+		local[t.addrs[h]] = true
+	}
+	for _, addr := range t.addrs {
+		if local[addr] {
+			continue // same-process deliveries never touch the wire
+		}
+		if _, ok := t.met.framesOut[addr]; ok {
+			continue
+		}
+		t.met.framesOut[addr] = reg.Counter("transport_frames_out_total", "Frames written to a peer.", "peer="+addr)
+		t.met.bytesOut[addr] = reg.Counter("transport_bytes_out_total", "Wire bytes written to a peer (length prefix included).", "peer="+addr)
+	}
 }
 
 // tcpConn serializes frame writes on one outbound connection.
@@ -117,6 +171,7 @@ func (t *TCP) Open() error {
 		return fmt.Errorf("transport: already open")
 	}
 	t.opened = true
+	t.initMetrics()
 	for h := range t.recv {
 		addr := t.addrs[h]
 		if _, ok := t.listeners[addr]; ok {
@@ -174,6 +229,8 @@ func (t *TCP) readLoop(c net.Conn) {
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
 			return
 		}
+		t.met.framesIn.Inc()
+		t.met.bytesIn.Add(int64(n) + 4)
 		t.deliverLocal(msg)
 	}
 }
@@ -237,6 +294,8 @@ func (t *TCP) Send(msg Message) error {
 		_, err = conn.c.Write(frame)
 		conn.mu.Unlock()
 		if err == nil {
+			t.met.framesOut[addr].Inc()
+			t.met.bytesOut[addr].Add(int64(len(frame)))
 			return nil
 		}
 		t.dropConn(addr, conn)
@@ -281,6 +340,7 @@ func (t *TCP) conn(addr string) (*tcpConn, error) {
 		}
 		var wait time.Duration
 		wait, backoff = dialBackoff(backoff, t.DialBackoffMax, rand.Int63n)
+		t.met.dialBackoffs.Inc()
 		select {
 		case <-time.After(wait):
 		case <-t.quit:
@@ -301,6 +361,7 @@ func (t *TCP) dialOnce(addr string, dmu *sync.Mutex) (*tcpConn, error) {
 		return c, nil
 	}
 	t.mu.Unlock()
+	t.met.dialAttempts.Inc()
 	c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
 	if err != nil {
 		return nil, err

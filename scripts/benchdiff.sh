@@ -9,12 +9,17 @@
 #
 # Throughput keys (queries/sec, windows/sec) are compared numerically;
 # a drop beyond the threshold (default 20%, override BENCHDIFF_PCT)
-# exits non-zero. Timing noise on loaded machines is real — treat a
-# red result as "rerun and look", not as proof by itself.
+# exits non-zero. Latency keys (latency_ms_p50/p95/p99 and their churn
+# variants) gate the other direction: a tail that grows beyond
+# BENCHDIFF_LAT_PCT (default 25%) fails even if throughput held, since a
+# stream can keep its queries/sec while individual queries stall behind
+# the concurrency window. Timing noise on loaded machines is real —
+# treat a red result as "rerun and look", not as proof by itself.
 set -e
 
 cd "$(dirname "$0")/.."
 THRESHOLD=${BENCHDIFF_PCT:-20}
+LAT_THRESHOLD=${BENCHDIFF_LAT_PCT:-25}
 
 OLD=$1
 NEW=$2
@@ -41,8 +46,8 @@ fi
 
 # The report is flat one-key-per-line JSON; awk extracts "key": number
 # pairs and joins the two files on key.
-awk -v threshold="$THRESHOLD" '
-    match($0, /"[a-z_]+": [0-9.]+,?$/) {
+awk -v threshold="$THRESHOLD" -v latthreshold="$LAT_THRESHOLD" '
+    match($0, /"[a-z0-9_]+": [0-9.]+,?$/) {
         line = substr($0, RSTART, RLENGTH)
         gsub(/[",:]/, "", line)
         split(line, kv, " ")
@@ -54,15 +59,18 @@ awk -v threshold="$THRESHOLD" '
         printf "%-26s %12s %12s %9s\n", "metric", "old", "new", "delta"
         for (k in old) {
             if (!(k in new) || old[k] == 0) continue
-            if (k !~ /per_sec/) continue # config knobs are not throughput
+            # Throughput regresses downward, latency regresses upward;
+            # everything else in the report is a config knob.
+            if (k !~ /per_sec/ && k !~ /latency_ms/) continue
             pct = (new[k] - old[k]) * 100 / old[k]
             flag = ""
-            if (pct < -threshold) { flag = "  << REGRESSION"; fail = 1 }
+            if (k ~ /per_sec/ && pct < -threshold)       { flag = "  << REGRESSION"; fail = 1 }
+            if (k ~ /latency_ms/ && pct > latthreshold)  { flag = "  << TAIL REGRESSION"; fail = 1 }
             printf "%-26s %12.2f %12.2f %+8.1f%%%s\n", k, old[k], new[k], pct, flag
         }
         exit fail
     }
 ' "$OLD" "$NEW" || {
-    echo "benchdiff: throughput dropped more than ${THRESHOLD}% on at least one metric" >&2
+    echo "benchdiff: throughput dropped more than ${THRESHOLD}% or latency grew more than ${LAT_THRESHOLD}% on at least one metric" >&2
     exit 1
 }

@@ -43,7 +43,22 @@ W2=$!
 trap 'kill $W1 $W2 2>/dev/null || true' EXIT
 
 sleep 1 # let the workers bind their listeners
-"$BIN" $COMMON -serve 0-19 -query -queries 8 -concurrency 2
+
+# The issuer also exposes its observability surface: -metrics serves the
+# Prometheus exposition, a JSON snapshot of live/retired queries, and
+# pprof. Scrape it mid-churn, while the stream is still in flight.
+METRICS=127.0.0.1:7190
+"$BIN" $COMMON -serve 0-19 -query -queries 8 -concurrency 2 -metrics $METRICS &
+Q=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    curl -fsS "http://$METRICS/metrics" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+echo "--- mid-run scrape: §6.3 counters and latency histograms ---"
+curl -fsS "http://$METRICS/metrics" 2>/dev/null | grep -E '^(node|transport|daemon)_' | head -n 12 || true
+echo "--- mid-run scrape: /debug/queries ---"
+curl -fsS "http://$METRICS/debug/queries" 2>/dev/null || true
+wait $Q
 
 # The same churned stream fully in process via the channel transport:
 "$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count,min -hq 0,7 -hop 5ms $CHURN -query -queries 4 -concurrency 2
