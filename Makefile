@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci fmt fmt-check demo bench benchdiff metrics-smoke
+.PHONY: all build vet test race ci fmt fmt-check demo bench benchdiff metrics-smoke fuzz-smoke
 
 all: ci
 
@@ -21,8 +21,9 @@ race:
 # ci is the gate: compile everything, vet, enforce gofmt, run the full
 # suite under the race detector (the node runtime and transports are
 # concurrent code; plain `go test` would let scheduling bugs through),
-# and smoke-test the built binary's metrics endpoint end to end.
-ci: build vet fmt-check race metrics-smoke
+# smoke-test the built binary's metrics endpoint end to end, and give the
+# wire decoders a short hostile-input fuzz pass.
+ci: build vet fmt-check race metrics-smoke fuzz-smoke
 
 # metrics-smoke boots one validityd with -metrics on, scrapes /metrics
 # and /debug/queries mid-run, and asserts the counter families and the
@@ -30,6 +31,15 @@ ci: build vet fmt-check race metrics-smoke
 # binary, not just the packages.
 metrics-smoke:
 	./scripts/metrics-smoke.sh
+
+# fuzz-smoke runs each wire-decoder fuzz target for a couple of seconds:
+# not a soak, just enough mutation on top of the seed corpus to catch a
+# decoder that panics or over-allocates on hostile bytes before it ships.
+# Longer runs: go test ./internal/wire -fuzz FuzzDecode -fuzztime 5m
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 2s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodePartial$$' -fuzztime 2s
+	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzDecodeFrameBody$$' -fuzztime 2s
 
 fmt:
 	gofmt -l .

@@ -372,6 +372,23 @@ type Sketcher interface {
 	Sketch() *fm.Sketch
 }
 
+// WireSketches returns the sketches carried by p without allocating: a is
+// the sole sketch for count/sum and the sum sketch for avg, b the avg
+// count sketch (nil otherwise). Both nil for scalar partials. The wire
+// encoder sits on the send hot path of every host goroutine, where
+// Sketches' per-call slice would be the only allocation of a send.
+func WireSketches(p Partial) (a, b *fm.Sketch) {
+	switch v := p.(type) {
+	case *countPartial:
+		return v.sk, nil
+	case *sumPartial:
+		return v.sk, nil
+	case *avgPartial:
+		return v.sum, v.cnt
+	}
+	return nil, nil
+}
+
 // Sketches returns the FM sketches carried by p: one for count/sum, two
 // (sum, count) for avg, none for scalars.
 func Sketches(p Partial) []*fm.Sketch {

@@ -151,6 +151,13 @@ type Config struct {
 	// regenerate identical timelines with no coordination messages.
 	Churn string
 
+	// FlushWindow is the TCP transport's write-coalescing linger: how long
+	// a peer's writer goroutine waits for more frames before flushing one
+	// batched write. Zero (the default) coalesces only opportunistically,
+	// adding no latency; positive values must stay under δ/2 (half of Hop)
+	// so batching never eats the per-hop bound the protocols assume.
+	FlushWindow time.Duration
+
 	// RunFor bounds a non-query process's lifetime (0 = serve forever).
 	RunFor time.Duration
 
@@ -205,6 +212,7 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.DurationVar(&cfg.Hop, "hop", 5*time.Millisecond, "wall-clock per-hop delay bound δ")
 	fs.StringVar(&cfg.Kill, "kill", "", "membership events host@tick (leave, §3.2) and +host@tick (join), per query on its own clock")
 	fs.StringVar(&cfg.Churn, "churn", "", "per-query churn model: rate=R[,window=W], model=sessions,mean=M[,join=D][,window=W], model=burst,hosts=A-B,at=T, or trace=FILE (ticks on each query's clock)")
+	fs.DurationVar(&cfg.FlushWindow, "flush-window", 0, "tcp write-coalescing linger per peer (0 = flush immediately; must be < hop/2)")
 	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = forever)")
 	fs.StringVar(&cfg.Metrics, "metrics", "", "serve /metrics, /debug/queries, and /debug/pprof/ on this address (e.g. 127.0.0.1:7190; port 0 picks one)")
 	fs.StringVar(&cfg.LogLevel, "log-level", "info", "diagnostic log level on stderr: debug | info | warn | error")
@@ -264,6 +272,20 @@ func validate(cfg *Config) error {
 		}
 		if cfg.Window < 0 {
 			return fmt.Errorf("daemon: -window must be ≥ 0 ticks, got %d", cfg.Window)
+		}
+	}
+	if cfg.FlushWindow != 0 {
+		if cfg.Transport != "tcp" {
+			return fmt.Errorf("daemon: -flush-window applies only to -transport tcp (chan never batches writes)")
+		}
+		if cfg.FlushWindow < 0 {
+			return fmt.Errorf("daemon: -flush-window must be ≥ 0, got %v", cfg.FlushWindow)
+		}
+		if cfg.FlushWindow >= cfg.Hop/2 {
+			// The flush linger is added latency on every remote hop; at
+			// δ/2 and beyond it alone would consume the processing
+			// headroom the per-hop bound δ reserves.
+			return fmt.Errorf("daemon: -flush-window %v must stay under half of -hop (%v)", cfg.FlushWindow, cfg.Hop)
 		}
 	}
 	if cfg.Vectors < 1 || cfg.Vectors > 255 {
@@ -541,6 +563,7 @@ func Run(cfg *Config) error {
 		}
 		tcp := transport.NewTCP(addrs)
 		tcp.Obs = reg
+		tcp.FlushWindow = cfg.FlushWindow
 		tr = tcp
 	}
 

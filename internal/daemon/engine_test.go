@@ -36,6 +36,9 @@ func TestConflictingFlagsRejected(t *testing.T) {
 		{"late-joiner querying host", []string{"-query", "-hq", "0", "-kill", "+0@5"}, "late joiner"},
 		{"churn without survivors", []string{"-query", "-hosts", "60", "-churn", "rate=60"}, "churn"},
 		{"sessions churn without mean", []string{"-query", "-churn", "model=sessions"}, "churn"},
+		{"flush-window under chan", []string{"-flush-window", "1ms"}, "-flush-window"},
+		{"flush-window eats the hop bound", []string{"-transport", "tcp",
+			"-peers", "0-99=127.0.0.1:1", "-serve", "0-99", "-flush-window", "10ms"}, "-flush-window"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -116,6 +119,9 @@ func TestConcurrentTCPQueryStream(t *testing.T) {
 		// fleet runs with the slack a deployment would configure.
 		"-dhat", "12",
 		"-hop", testHop.String(),
+		// A positive write-coalescing window, well under hop/2: the e2e
+		// must produce byte-identical result lines with batching on.
+		"-flush-window", "1ms",
 	}
 
 	// Workers serve indefinitely (no -run-for): the engine, not a
@@ -224,7 +230,7 @@ func TestBenchEngine(t *testing.T) {
 	// histogram holds exactly that regime's observations — throughput says
 	// how fast the stream drained, the tail percentiles say what a single
 	// query paid for it.
-	runStream := func(extra ...string) (float64, *obs.Histogram) {
+	runStream := func(extra ...string) (float64, *obs.Histogram, float64) {
 		t.Helper()
 		var out bytes.Buffer
 		args := append([]string{
@@ -248,10 +254,14 @@ func TestBenchEngine(t *testing.T) {
 		if lat.Count() != queries {
 			t.Fatalf("bench stream %v observed %d latencies, want %d", extra, lat.Count(), queries)
 		}
-		return float64(queries) / time.Since(start).Seconds(), lat
+		// Wire bytes per query, off the engine's §6.3 counter — the exact
+		// transport-frame cost of every send, so the framing overhead
+		// trend is tracked alongside throughput and tails.
+		bytesPerQuery := float64(cfg.Obs.Counter("node_bytes_sent_total", "").Value()) / float64(queries)
+		return float64(queries) / time.Since(start).Seconds(), lat, bytesPerQuery
 	}
-	staticQPS, staticLat := runStream()
-	churnQPS, churnLat := runStream("-churn", churnSpec)
+	staticQPS, staticLat, staticBPQ := runStream()
+	churnQPS, churnLat, _ := runStream("-churn", churnSpec)
 
 	// Join churn: session lifetimes with rebirth, so queries run over a
 	// population that shrinks AND grows — the arrivals regime the event
@@ -259,7 +269,7 @@ func TestBenchEngine(t *testing.T) {
 	// deadline keeps most hosts up at any instant while still cycling
 	// sessions through every query.
 	joinSpec := "model=sessions,mean=60,join=20"
-	joinQPS, joinLat := runStream("-churn", joinSpec)
+	joinQPS, joinLat, _ := runStream("-churn", joinSpec)
 
 	// Continuous throughput: one windowed query streamed in process, static
 	// and churned, measured in windows/sec. Window length stays at the §4.2
@@ -297,6 +307,7 @@ func TestBenchEngine(t *testing.T) {
 		"concurrency":           concurrency,
 		"hop":                   testHop.String(),
 		"queries_per_sec":       staticQPS,
+		"bytes_per_query":       staticBPQ,
 		"churn_spec":            churnSpec,
 		"queries_per_sec_churn": churnQPS,
 		"join_churn_spec":       joinSpec,

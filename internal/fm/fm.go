@@ -22,6 +22,7 @@
 package fm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -215,6 +216,17 @@ func (s *Sketch) String() string {
 // Words exposes the raw vectors (for serialization); the returned slice is
 // a copy.
 func (s *Sketch) Words() []uint64 { return append([]uint64(nil), s.vecs...) }
+
+// AppendWords appends the raw vectors to buf in little-endian order and
+// returns the extended slice — the allocation-free twin of Words for
+// encoders on the send hot path (internal/wire), which must not copy the
+// vector slice per frame.
+func (s *Sketch) AppendWords(buf []byte) []byte {
+	for _, w := range s.vecs {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
 
 // FromWords reconstructs a sketch from raw vectors.
 func FromWords(words []uint64, bitsPerVec int) *Sketch {

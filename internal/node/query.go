@@ -506,15 +506,14 @@ func (b *queryBackend) SetTimer(h graph.HostID, at sim.Time, tag, chain int) {
 	})
 }
 
-// payloadWireSize is the canonical on-wire cost of a payload: the
-// internal/wire envelope size where a mapping exists, zero otherwise
-// (control messages outside the wire format).
+// payloadWireSize is the canonical on-wire cost of a payload: the exact
+// version-2 transport frame size (length prefix + header + payload body)
+// where a payload codec is registered, zero otherwise (payloads outside
+// the wire format). This is byte-for-byte what the TCP transport writes,
+// so the §6.3 accounting charges the cost we actually pay — the chan
+// transport never serializes, but is charged as if it had.
 func payloadWireSize(payload any) int {
-	env, ok := protocol.WireEnvelope(payload)
-	if !ok {
-		return 0
-	}
-	n, err := wire.SizeOf(env)
+	n, err := wire.FrameSize(payload)
 	if err != nil {
 		return 0
 	}

@@ -126,8 +126,9 @@ type Config struct {
 type Stats struct {
 	// MessagesSent counts sends issued by local hosts.
 	MessagesSent int64
-	// BytesOnWire is the canonical internal/wire size of every sent
-	// payload (zero for payloads outside the wire format).
+	// BytesOnWire is the exact internal/wire transport-frame size of
+	// every sent payload — byte-for-byte what the TCP transport writes
+	// (zero for payloads outside the wire format).
 	BytesOnWire int64
 	// MessagesDelivered counts callbacks delivered to alive local hosts.
 	MessagesDelivered int64

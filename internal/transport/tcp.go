@@ -1,9 +1,8 @@
 package transport
 
 import (
-	"bytes"
+	"bufio"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
 	"math/rand"
@@ -13,6 +12,7 @@ import (
 
 	"validity/internal/graph"
 	"validity/internal/obs"
+	"validity/internal/wire"
 )
 
 // maxFrame bounds one wire frame. Protocol messages are a few hundred
@@ -20,17 +20,32 @@ import (
 // near this limit is a corrupt or hostile stream.
 const maxFrame = 1 << 24
 
+// defaultMaxBatch caps the frames one writer packs into a single
+// conn.Write: enough to amortize the syscall across a busy connection's
+// backlog, small enough that one flush never buffers unbounded memory.
+const defaultMaxBatch = 128
+
 // TCP is the cross-process Transport: hosts are assigned to addresses, and
 // every process serves the hosts whose address it listens on. Frames are
-// length-prefixed gob: a 4-byte big-endian length followed by the
-// gob-encoded Message — whose header includes the QueryID, so one
-// long-running fleet can carry many concurrent queries over the same
-// connections. Each frame carries its own gob stream so frames are
-// self-contained and a torn connection never corrupts a successor; the
-// per-frame type-description overhead is irrelevant next to the protocols'
-// message counts. Payload types cross the wire as gob interface values, so
-// they must be gob-registered (internal/agg and internal/protocol register
-// theirs in package init).
+// internal/wire version-2 binary frames — a 4-byte big-endian length
+// prefix followed by a fixed 24-byte header (magic, version, payload tag,
+// from, to, query, chain) and the payload body of the tag's registered
+// codec. The QueryID in every header lets one long-running fleet carry
+// many concurrent queries over the same connections. Encoding appends
+// into sync.Pool-recycled buffers and decoding is a tag-table lookup, so
+// a steady-state send performs no reflection and no allocation; payload
+// types must be registered with wire.RegisterPayload (internal/protocol
+// registers the protocol messages in package init, test harnesses use
+// tags ≥ wire.TagReservedBase).
+//
+// Sends do not write the socket directly: each connection has a writer
+// goroutine draining a per-peer queue, packing every frame queued at that
+// moment into one buffered write. FlushWindow > 0 additionally lets the
+// writer linger that long for stragglers before flushing — batching
+// compounds under -concurrency, since one connection already multiplexes
+// many queries' traffic. The default FlushWindow of 0 batches only
+// opportunistically (whatever queued while the previous write was in
+// flight), adding no latency.
 //
 // Hosts that share an address short-circuit in process without touching a
 // socket, which is what makes sharding |H| hosts across a handful of OS
@@ -41,9 +56,10 @@ type TCP struct {
 
 	// DialTimeout bounds one connection attempt; DialBudget bounds the
 	// total time Send spends retrying a dial (peers may still be starting).
-	// WriteTimeout bounds one frame write, so a stalled peer (full kernel
-	// buffer, blackholed link) cannot freeze the sending host goroutine —
-	// the write errors, the connection drops, and Send retries once.
+	// WriteTimeout bounds one batch write, so a stalled peer (full kernel
+	// buffer, blackholed link) cannot freeze the writer goroutine — the
+	// write errors, the connection drops, and the writer redials and
+	// retries the batch once.
 	DialTimeout  time.Duration
 	DialBudget   time.Duration
 	WriteTimeout time.Duration
@@ -54,14 +70,27 @@ type TCP struct {
 	DialBackoff    time.Duration
 	DialBackoffMax time.Duration
 
+	// FlushWindow is how long a peer's writer lingers for more frames
+	// after picking up a batch before writing it out. Zero (the default)
+	// flushes immediately, coalescing only what queued while the previous
+	// write was in flight. A positive window trades that much added
+	// per-hop latency for fewer, larger writes, so it must stay well under
+	// half the engine's hop bound δ — the daemon's -flush-window flag
+	// enforces this. Set before Open.
+	FlushWindow time.Duration
+	// MaxBatch caps frames per write (0 = 128). Set before Open.
+	MaxBatch int
+
 	// Obs, when set before Open, receives the transport's wire metrics:
-	// dial attempts and backoff sleeps, inbound frames/bytes, and outbound
-	// frames/bytes per peer address. Nil leaves the transport
-	// uninstrumented (every update is one nil branch).
+	// dial attempts and backoff sleeps, inbound frames/bytes, outbound
+	// frames/bytes per peer address, and the write-coalescing figures
+	// (batch flushes, frames-per-write distribution, frames dropped on
+	// write failure). Nil leaves the transport uninstrumented (every
+	// update is one nil branch).
 	Obs *obs.Registry
 
 	// met holds the pre-registered counters, built once in Open; its
-	// per-peer maps are read-only afterwards, so Send touches no lock for
+	// per-peer maps are read-only afterwards, so writers touch no lock for
 	// metrics. The zero value (all nil) is the disabled form.
 	met tcpMetrics
 
@@ -71,6 +100,7 @@ type TCP struct {
 	listeners map[string]net.Listener
 	conns     map[string]*tcpConn
 	dialing   map[string]*sync.Mutex
+	writers   map[string]*peerWriter
 	opened    bool
 	closed    bool
 	quit      chan struct{}
@@ -84,8 +114,26 @@ type tcpMetrics struct {
 	dialBackoffs *obs.Counter
 	framesIn     *obs.Counter
 	bytesIn      *obs.Counter
+	batchFlushes *obs.Counter
+	framesPerWr  *obs.Histogram
+	framesDrop   *obs.Counter
 	framesOut    map[string]*obs.Counter // by peer address
 	bytesOut     map[string]*obs.Counter
+	// The unknown-peer pair catches frames routed to an address outside
+	// the static map built at Open (a peer table extended after boot):
+	// they are counted under peer=unknown instead of vanishing into a nil
+	// counter.
+	framesOutUnknown *obs.Counter
+	bytesOutUnknown  *obs.Counter
+}
+
+// outCounters resolves the per-peer outbound pair, falling back to the
+// peer=unknown series for addresses missing from the static map.
+func (m *tcpMetrics) outCounters(addr string) (frames, bytes *obs.Counter) {
+	if f, ok := m.framesOut[addr]; ok {
+		return f, m.bytesOut[addr]
+	}
+	return m.framesOutUnknown, m.bytesOutUnknown
 }
 
 // initMetrics registers the transport's counters, one labeled series per
@@ -100,8 +148,15 @@ func (t *TCP) initMetrics() {
 		dialBackoffs: reg.Counter("transport_dial_backoffs_total", "Backoff sleeps between failed dial attempts."),
 		framesIn:     reg.Counter("transport_frames_in_total", "Frames decoded off inbound connections."),
 		bytesIn:      reg.Counter("transport_bytes_in_total", "Wire bytes read off inbound connections (length prefix included)."),
+		batchFlushes: reg.Counter("transport_batch_flushes_total", "Coalesced batch writes flushed to peers."),
+		framesPerWr:  reg.Histogram("transport_frames_per_write", "Frames packed into one connection write.", batchBuckets),
+		framesDrop:   reg.Counter("transport_frames_dropped_total", "Outbound frames dropped after a failed write and failed retry."),
 		framesOut:    make(map[string]*obs.Counter),
 		bytesOut:     make(map[string]*obs.Counter),
+		framesOutUnknown: reg.Counter("transport_frames_out_total",
+			"Frames written to a peer.", "peer=unknown"),
+		bytesOutUnknown: reg.Counter("transport_bytes_out_total",
+			"Wire bytes written to a peer (length prefix included).", "peer=unknown"),
 	}
 	local := make(map[string]bool, len(t.recv))
 	for h := range t.recv {
@@ -119,11 +174,24 @@ func (t *TCP) initMetrics() {
 	}
 }
 
+// batchBuckets grades the frames-per-write histogram: 1 means no
+// coalescing happened, the upper buckets say how hard the writer is
+// packing under load.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // tcpConn serializes frame writes on one outbound connection.
 type tcpConn struct {
 	mu sync.Mutex
 	c  net.Conn
 }
+
+// outFrame is one encoded frame awaiting its peer's writer; the buffers
+// recycle through framePool so steady-state sends allocate nothing.
+type outFrame struct {
+	b []byte
+}
+
+var framePool = sync.Pool{New: func() any { return &outFrame{b: make([]byte, 0, 1024)} }}
 
 // NewTCP returns a TCP transport where addrs[h] is the address serving
 // host h. The caller Binds its local hosts and then Opens; one listener is
@@ -141,6 +209,7 @@ func NewTCP(addrs []string) *TCP {
 		listeners:      make(map[string]net.Listener),
 		conns:          make(map[string]*tcpConn),
 		dialing:        make(map[string]*sync.Mutex),
+		writers:        make(map[string]*peerWriter),
 		quit:           make(chan struct{}),
 	}
 }
@@ -212,9 +281,13 @@ func (t *TCP) readLoop(c net.Conn) {
 		case <-done: // connection ended on its own; don't linger
 		}
 	}()
+	// The peer coalesces many frames into one write, so one kernel read
+	// commonly carries a whole batch; the buffered reader slices frames
+	// out of it without a syscall each.
+	br := bufio.NewReaderSize(c, 64<<10)
 	var lenBuf [4]byte
 	for {
-		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
@@ -222,16 +295,22 @@ func (t *TCP) readLoop(c net.Conn) {
 			return
 		}
 		body := make([]byte, n)
-		if _, err := io.ReadFull(c, body); err != nil {
+		if _, err := io.ReadFull(br, body); err != nil {
 			return
 		}
-		var msg Message
-		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
-			return
+		f, err := wire.DecodeFrameBody(body)
+		if err != nil {
+			return // corrupt or hostile stream: drop the connection
 		}
 		t.met.framesIn.Inc()
 		t.met.bytesIn.Add(int64(n) + 4)
-		t.deliverLocal(msg)
+		t.deliverLocal(Message{
+			From:    f.From,
+			To:      f.To,
+			Query:   QueryID(f.Query),
+			Chain:   f.Chain,
+			Payload: f.Payload,
+		})
 	}
 }
 
@@ -250,8 +329,12 @@ func (t *TCP) deliverLocal(msg Message) {
 }
 
 // Send implements Transport. Destinations served by this process are
-// delivered directly; remote destinations go over a lazily-dialed,
-// write-serialized connection to the destination's address.
+// delivered directly; remote destinations are encoded into a pooled
+// buffer and enqueued on the destination peer's writer, which packs
+// queued frames into batched connection writes. Send still dials
+// synchronously when no connection exists — with the same retry budget as
+// before — so a fleet booting in arbitrary order blocks senders, not the
+// writer goroutines, until the peer appears.
 func (t *TCP) Send(msg Message) error {
 	if msg.To < 0 || int(msg.To) >= len(t.addrs) {
 		return fmt.Errorf("transport: destination %d has no address", msg.To)
@@ -273,17 +356,149 @@ func (t *TCP) Send(msg Message) error {
 		return nil
 	}
 
-	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
-	if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+	fr := framePool.Get().(*outFrame)
+	b, err := wire.AppendFrame(fr.b[:0], wire.Frame{
+		From:    msg.From,
+		To:      msg.To,
+		Query:   int64(msg.Query),
+		Chain:   msg.Chain,
+		Payload: msg.Payload,
+	})
+	if err != nil {
+		framePool.Put(fr)
 		return fmt.Errorf("transport: encode to %d: %w", msg.To, err)
 	}
-	frame := buf.Bytes()
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	fr.b = b
 
 	addr := t.addrs[msg.To]
+	if _, err := t.conn(addr); err != nil {
+		framePool.Put(fr)
+		return err
+	}
+	w, err := t.writer(addr)
+	if err != nil {
+		framePool.Put(fr)
+		return err
+	}
+	w.enqueue(fr)
+	return nil
+}
+
+// writer returns addr's writer goroutine, starting it on first use.
+func (t *TCP) writer(addr string) (*peerWriter, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("transport: send on closed transport")
+	}
+	if w, ok := t.writers[addr]; ok {
+		return w, nil
+	}
+	w := &peerWriter{t: t, addr: addr, kick: make(chan struct{}, 1)}
+	w.framesOut, w.bytesOut = t.met.outCounters(addr)
+	t.writers[addr] = w
+	t.wg.Add(1)
+	go w.loop()
+	return w, nil
+}
+
+// peerWriter drains one peer's outbound queue, packing every frame queued
+// at pickup — plus, with FlushWindow > 0, stragglers arriving within the
+// window — into a single connection write.
+type peerWriter struct {
+	t    *TCP
+	addr string
+	kick chan struct{} // buffered(1): coalesces enqueue signals
+
+	mu    sync.Mutex
+	queue []*outFrame
+
+	framesOut *obs.Counter
+	bytesOut  *obs.Counter
+}
+
+func (w *peerWriter) enqueue(fr *outFrame) {
+	w.mu.Lock()
+	w.queue = append(w.queue, fr)
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default: // a wake-up is already pending; the writer will see this frame
+	}
+}
+
+// take removes up to max frames from the queue (all of them if max ≤ 0).
+func (w *peerWriter) take(max int) []*outFrame {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.queue)
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	batch := w.queue[:n:n]
+	w.queue = append([]*outFrame(nil), w.queue[n:]...)
+	return batch
+}
+
+func (w *peerWriter) loop() {
+	t := w.t
+	defer t.wg.Done()
+	maxBatch := t.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	var wbuf []byte // batch assembly buffer, reused across flushes
+	for {
+		select {
+		case <-t.quit:
+			return
+		case <-w.kick:
+		}
+		if t.FlushWindow > 0 {
+			// Linger once per wake-up: frames sent by other host
+			// goroutines within the window join this batch.
+			select {
+			case <-t.quit:
+				return
+			case <-time.After(t.FlushWindow):
+			}
+		}
+		for {
+			batch := w.take(maxBatch)
+			if len(batch) == 0 {
+				break
+			}
+			wbuf = wbuf[:0]
+			for _, fr := range batch {
+				wbuf = append(wbuf, fr.b...)
+			}
+			err := w.flush(wbuf)
+			for _, fr := range batch {
+				framePool.Put(fr)
+			}
+			if err != nil {
+				t.met.framesDrop.Add(int64(len(batch)))
+			} else {
+				t.met.batchFlushes.Inc()
+				t.met.framesPerWr.Observe(float64(len(batch)))
+				w.framesOut.Add(int64(len(batch)))
+				w.bytesOut.Add(int64(len(wbuf)))
+			}
+		}
+	}
+}
+
+// flush writes one assembled batch, redialing and retrying once on a
+// write error (the peer may have restarted); a second failure drops the
+// batch — the protocols tolerate loss, and the engine's per-query drop
+// counters surface it.
+func (w *peerWriter) flush(batch []byte) error {
+	t := w.t
 	for attempt := 0; ; attempt++ {
-		conn, err := t.conn(addr)
+		conn, err := t.conn(w.addr)
 		if err != nil {
 			return err
 		}
@@ -291,16 +506,14 @@ func (t *TCP) Send(msg Message) error {
 		if t.WriteTimeout > 0 {
 			conn.c.SetWriteDeadline(time.Now().Add(t.WriteTimeout))
 		}
-		_, err = conn.c.Write(frame)
+		_, err = conn.c.Write(batch)
 		conn.mu.Unlock()
 		if err == nil {
-			t.met.framesOut[addr].Inc()
-			t.met.bytesOut[addr].Add(int64(len(frame)))
 			return nil
 		}
-		t.dropConn(addr, conn)
+		t.dropConn(w.addr, conn)
 		if attempt == 1 {
-			return fmt.Errorf("transport: write to %s: %w", addr, err)
+			return fmt.Errorf("transport: write to %s: %w", w.addr, err)
 		}
 	}
 }

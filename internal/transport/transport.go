@@ -12,8 +12,9 @@
 //     goroutines with an optional per-hop delay that emulates the
 //     universal delay bound δ in wall-clock time.
 //   - TCP: hosts are sharded across OS processes; frames travel as
-//     length-prefixed gob over loopback or a real network, so N processes
-//     can jointly answer one WILDFIRE query (cmd/validityd).
+//     length-prefixed internal/wire binary frames over loopback or a real
+//     network — batched per peer by a write-coalescing goroutine — so N
+//     processes can jointly answer one WILDFIRE query (cmd/validityd).
 //
 // The Transport does not know the topology: neighbor-only communication
 // (§3.1 "messages travel only along edges of G") is enforced one layer up,

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"net"
@@ -13,14 +12,13 @@ import (
 	"validity/internal/graph"
 )
 
-// sketchPayload exercises the gob path the protocols rely on: an interface
-// field whose concrete types are registered by internal/agg.
+// sketchPayload exercises the wire path the protocols rely on: an
+// interface field carrying a partial aggregate, shipped through the codec
+// registered in wiretest_test.go.
 type sketchPayload struct {
 	Round int
 	A     agg.Partial
 }
-
-func init() { gob.Register(sketchPayload{}) }
 
 // collector accumulates delivered messages.
 type collector struct {
@@ -165,7 +163,7 @@ func newTCPPair(t *testing.T) (a, b *TCP, ca, cb1, cb2 *collector) {
 func TestTCPLoopbackRoundTrip(t *testing.T) {
 	a, b, ca, cb1, _ := newTCPPair(t)
 	// A → B carrying an FM count partial, B → A echoing it back: the
-	// partial must survive two gob trips intact.
+	// partial must survive two wire-frame trips intact.
 	rng := rand.New(rand.NewSource(1))
 	p := agg.NewPartial(agg.Count, 1, agg.Params{Vectors: 8, Bits: 32}, rng)
 	if err := a.Send(Message{From: 0, To: 1, Chain: 1, Payload: sketchPayload{Round: 7, A: p}}); err != nil {

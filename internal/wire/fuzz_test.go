@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"validity/internal/agg"
+)
+
+// Seed corpus for the envelope decoders: valid encodings of every message
+// kind with and without partials, plus every truncation of one of them —
+// the hostile inputs a broken peer is most likely to produce.
+func envelopeSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var seeds [][]byte
+	add := func(e Envelope) {
+		buf, err := Encode(e)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, buf)
+	}
+	add(Envelope{Kind: MsgBroadcast, Hop: 3})
+	add(Envelope{Kind: MsgConverge})
+	for _, k := range []agg.Kind{agg.Min, agg.Max, agg.Count, agg.Sum, agg.Avg} {
+		add(Envelope{
+			Kind:    MsgConverge,
+			Partial: agg.NewPartial(k, 42, params(), rng),
+			AggKind: k,
+		})
+	}
+	full := seeds[len(seeds)-1]
+	for i := range full {
+		seeds = append(seeds, full[:i])
+	}
+	return seeds
+}
+
+// FuzzDecode feeds arbitrary bytes to the envelope decoder. Hostile input
+// must come back as an error — never a panic, and never an allocation
+// sized from unvalidated lengths.
+func FuzzDecode(f *testing.F) {
+	for _, s := range envelopeSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err == nil {
+			// Anything that decodes must re-encode: the codec may not
+			// accept envelopes it cannot itself produce.
+			if _, err := Encode(e); err != nil {
+				t.Fatalf("decoded envelope does not re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzDecodePartial covers the partial-only decoder used by snapshot
+// restore, where the payload arrives without an envelope header.
+func FuzzDecodePartial(f *testing.F) {
+	rng := rand.New(rand.NewSource(8))
+	for _, k := range []agg.Kind{agg.Min, agg.Count, agg.Avg} {
+		buf, err := AppendPartial(nil, k, agg.NewPartial(k, 9, params(), rng))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)/2])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _, _ = DecodePartial(data)
+	})
+}

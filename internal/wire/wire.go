@@ -1,15 +1,37 @@
-// Package wire defines a compact binary encoding for everything the
-// protocols put on the network: partial aggregates (scalars and FM
-// sketches) and the protocol message envelopes. The simulator passes Go
-// values directly, but a real deployment of WILDFIRE ships bytes; this
-// package is the boundary where the paper's "small fixed-size messages"
-// claim (§4.4, §6.3) becomes checkable — Size reports the exact on-wire
-// cost of every message, and the encoding round-trips through
-// encoding/binary with no reflection.
+// Package wire defines the binary encoding for everything the protocols
+// put on the network: partial aggregates (scalars and FM sketches), the
+// protocol message envelopes, and — since wire version 2 — the full
+// transport frame the TCP transport ships. The simulator passes Go values
+// directly, but a real deployment of WILDFIRE ships bytes; this package is
+// the boundary where the paper's "small fixed-size messages" claim (§4.4,
+// §6.3) becomes checkable — SizeOf/FrameSize report the exact on-wire cost
+// of every message, and the encoding round-trips through encoding/binary
+// with no reflection.
 //
-// Layout (all integers little-endian):
+// Frame layout, version 2 (the unit one conn.Write carries; length prefix
+// big-endian, everything after it little-endian unless noted):
 //
-//	envelope: magic u16 | version u8 | kind u8 | body...
+//	offset  size  field
+//	0       4     length   u32 BE — bytes that follow (header + payload)
+//	4       2     magic    u16    — 0xDA7A
+//	6       1     version  u8     — Version (2)
+//	7       1     tag      u8     — payload tag (RegisterPayload)
+//	8       4     from     u32    — sending host id
+//	12      4     to       u32    — destination host id
+//	16      8     query    u64    — QueryID, two's complement
+//	24      4     chain    u32    — causal chain, two's complement
+//	28      ...   payload body (tag's codec; exact length enforced)
+//
+// Payload tags 1–239 belong to protocol messages (internal/protocol
+// registers its codecs in package init); 240–255 are reserved for
+// out-of-tree payloads such as test harness messages. Explicit tags
+// replace gob interface registration: decode is a table lookup, not a
+// reflection walk, and encode appends into a caller-owned buffer so a
+// steady-state send allocates nothing.
+//
+// Envelope/partial layout (version-2 bodies, unchanged from version 1):
+//
+//	envelope: magic u16 | version u8 | kind u8 | hop u16 | has u8 | partial?
 //	scalar partial:  aggKind u8 | value i64
 //	sketch partial:  aggKind u8 | vectors u8 | bits u8 | vectors × u64
 //	avg partial:     aggKind u8 | vectors u8 | bits u8 | 2 × vectors × u64
@@ -26,8 +48,10 @@ import (
 // Magic identifies a validity-protocol frame.
 const Magic uint16 = 0xDA7A
 
-// Version is the current wire version.
-const Version uint8 = 1
+// Version is the current wire version. Version 2 added the transport
+// frame (explicit payload tags, host/query/chain header) on top of the
+// version-1 envelope and partial bodies, which are unchanged.
+const Version uint8 = 2
 
 // MsgKind tags the envelope body.
 type MsgKind uint8
@@ -107,27 +131,62 @@ func AppendPartial(buf []byte, k agg.Kind, p agg.Partial) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(p.Result())))
 		return buf, nil
 	case agg.Count, agg.Sum, agg.Avg:
-		sketches := agg.Sketches(p)
-		if len(sketches) == 0 {
-			return nil, fmt.Errorf("wire: %v partial carries no sketches", k)
+		a, b, err := wireSketches(k, p)
+		if err != nil {
+			return nil, err
 		}
-		first := sketches[0]
-		if first.Vectors() > 255 || first.Bits() > 64 {
-			return nil, fmt.Errorf("wire: sketch dimensions %d/%d exceed wire limits",
-				first.Vectors(), first.Bits())
-		}
-		buf = append(buf, uint8(first.Vectors()), uint8(first.Bits()))
-		for _, sk := range sketches {
-			if sk.Vectors() != first.Vectors() || sk.Bits() != first.Bits() {
-				return nil, fmt.Errorf("wire: mismatched sketch dimensions within partial")
-			}
-			for _, w := range sk.Words() {
-				buf = binary.LittleEndian.AppendUint64(buf, w)
-			}
+		buf = append(buf, uint8(a.Vectors()), uint8(a.Bits()))
+		buf = a.AppendWords(buf)
+		if b != nil {
+			buf = b.AppendWords(buf)
 		}
 		return buf, nil
 	}
 	return nil, fmt.Errorf("wire: unencodable kind %v", k)
+}
+
+// PartialSize is AppendPartial's output length, computed arithmetically
+// without encoding — the payload codecs use it to size frames on the send
+// hot path.
+func PartialSize(k agg.Kind, p agg.Partial) (int, error) { return partialSize(k, p) }
+
+// wireSketches fetches and validates the sketches of a sketch partial
+// without allocating: the shared front half of AppendPartial and
+// partialSize, so encoding and arithmetic sizing can never disagree on
+// what is representable.
+func wireSketches(k agg.Kind, p agg.Partial) (a, b *fm.Sketch, err error) {
+	a, b = agg.WireSketches(p)
+	if a == nil {
+		return nil, nil, fmt.Errorf("wire: %v partial carries no sketches", k)
+	}
+	if a.Vectors() > 255 || a.Bits() > 64 {
+		return nil, nil, fmt.Errorf("wire: sketch dimensions %d/%d exceed wire limits",
+			a.Vectors(), a.Bits())
+	}
+	if b != nil && (b.Vectors() != a.Vectors() || b.Bits() != a.Bits()) {
+		return nil, nil, fmt.Errorf("wire: mismatched sketch dimensions within partial")
+	}
+	return a, b, nil
+}
+
+// partialSize is AppendPartial's output length, computed arithmetically.
+func partialSize(k agg.Kind, p agg.Partial) (int, error) {
+	switch k {
+	case agg.Min, agg.Max:
+		return 1 + 8, nil // tag + i64 value
+	case agg.Count, agg.Sum, agg.Avg:
+		a, b, err := wireSketches(k, p)
+		if err != nil {
+			return 0, err
+		}
+		nSketches := 1
+		if b != nil {
+			nSketches = 2
+		}
+		// tag + vectors + bits header, then the sketch words.
+		return 3 + 8*nSketches*a.Vectors(), nil
+	}
+	return 0, fmt.Errorf("wire: unencodable kind %v", k)
 }
 
 // DecodePartial decodes a partial from buf, returning the partial, its
@@ -244,15 +303,10 @@ func Decode(buf []byte) (Envelope, error) {
 	return e, nil
 }
 
-// Size returns the encoded size of an envelope without materializing it
-// twice (convenience for cost accounting).
-func Size(e Envelope) (int, error) {
-	b, err := Encode(e)
-	if err != nil {
-		return 0, err
-	}
-	return len(b), nil
-}
+// Size returns the encoded size of an envelope (convenience for cost
+// accounting); it delegates to SizeOf's arithmetic path rather than
+// paying a throwaway Encode.
+func Size(e Envelope) (int, error) { return SizeOf(e) }
 
 // envelopeHeaderSize is Encode's fixed prefix: magic (2), version (1),
 // kind (1), hop (2), has-partial flag (1).
@@ -266,28 +320,11 @@ func SizeOf(e Envelope) (int, error) {
 	if e.Partial == nil {
 		return envelopeHeaderSize, nil
 	}
-	switch e.AggKind {
-	case agg.Min, agg.Max:
-		return envelopeHeaderSize + 1 + 8, nil // tag + i64 value
-	case agg.Count, agg.Sum, agg.Avg:
-		sketches := agg.Sketches(e.Partial)
-		if len(sketches) == 0 {
-			return 0, fmt.Errorf("wire: %v partial carries no sketches", e.AggKind)
-		}
-		// Mirror AppendPartial's validation: a size must only be reported
-		// for envelopes the encoding can actually represent.
-		first := sketches[0]
-		if first.Vectors() > 255 || first.Bits() > 64 {
-			return 0, fmt.Errorf("wire: sketch dimensions %d/%d exceed wire limits",
-				first.Vectors(), first.Bits())
-		}
-		for _, sk := range sketches[1:] {
-			if sk.Vectors() != first.Vectors() || sk.Bits() != first.Bits() {
-				return 0, fmt.Errorf("wire: mismatched sketch dimensions within partial")
-			}
-		}
-		// tag + vectors + bits header, then the sketch words.
-		return envelopeHeaderSize + 3 + 8*len(sketches)*first.Vectors(), nil
+	// partialSize mirrors AppendPartial's validation: a size must only be
+	// reported for envelopes the encoding can actually represent.
+	n, err := partialSize(e.AggKind, e.Partial)
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("wire: unencodable kind %v", e.AggKind)
+	return envelopeHeaderSize + n, nil
 }

@@ -13,8 +13,11 @@
 # variants) gate the other direction: a tail that grows beyond
 # BENCHDIFF_LAT_PCT (default 25%) fails even if throughput held, since a
 # stream can keep its queries/sec while individual queries stall behind
-# the concurrency window. Timing noise on loaded machines is real —
-# treat a red result as "rerun and look", not as proof by itself.
+# the concurrency window. bytes_per_query also gates upward (threshold
+# BENCHDIFF_PCT) — it is deterministic wire-format accounting, so growth
+# means the framing actually got fatter. Timing noise on loaded machines
+# is real — treat a red timing result as "rerun and look", not as proof
+# by itself.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -59,13 +62,15 @@ awk -v threshold="$THRESHOLD" -v latthreshold="$LAT_THRESHOLD" '
         printf "%-26s %12s %12s %9s\n", "metric", "old", "new", "delta"
         for (k in old) {
             if (!(k in new) || old[k] == 0) continue
-            # Throughput regresses downward, latency regresses upward;
-            # everything else in the report is a config knob.
-            if (k !~ /per_sec/ && k !~ /latency_ms/) continue
+            # Throughput regresses downward; latency and wire bytes
+            # regress upward; everything else in the report is a config
+            # knob.
+            if (k !~ /per_sec/ && k !~ /latency_ms/ && k !~ /bytes_per_query/) continue
             pct = (new[k] - old[k]) * 100 / old[k]
             flag = ""
-            if (k ~ /per_sec/ && pct < -threshold)       { flag = "  << REGRESSION"; fail = 1 }
-            if (k ~ /latency_ms/ && pct > latthreshold)  { flag = "  << TAIL REGRESSION"; fail = 1 }
+            if (k ~ /per_sec/ && pct < -threshold)           { flag = "  << REGRESSION"; fail = 1 }
+            if (k ~ /latency_ms/ && pct > latthreshold)      { flag = "  << TAIL REGRESSION"; fail = 1 }
+            if (k ~ /bytes_per_query/ && pct > threshold)    { flag = "  << WIRE REGRESSION"; fail = 1 }
             printf "%-26s %12.2f %12.2f %+8.1f%%%s\n", k, old[k], new[k], pct, flag
         }
         exit fail
