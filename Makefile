@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci fmt fmt-check demo bench benchdiff metrics-smoke fuzz-smoke
+.PHONY: all build vet test race ci fmt fmt-check demo bench benchdiff metrics-smoke fuzz-smoke scale-smoke
 
 all: ci
 
@@ -23,7 +23,16 @@ race:
 # concurrent code; plain `go test` would let scheduling bugs through),
 # smoke-test the built binary's metrics endpoint end to end, and give the
 # wire decoders a short hostile-input fuzz pass.
-ci: build vet fmt-check race metrics-smoke fuzz-smoke
+ci: build vet fmt-check race scale-smoke metrics-smoke fuzz-smoke
+
+# scale-smoke answers a short query stream over a 2,048-host in-process
+# fleet and asserts the goroutine peak stays O(shards), not O(hosts) —
+# the bounded gate for the host-sharded scheduler. Native (no -race): the
+# fleet size is calibrated for real execution speed, and the shard
+# serialization invariant is race-checked at small scale by the node
+# package's property tests, which `race` already runs.
+scale-smoke:
+	$(GO) test ./internal/daemon -run '^TestScaleSmoke2K$$' -count=1 -v
 
 # metrics-smoke boots one validityd with -metrics on, scrapes /metrics
 # and /debug/queries mid-run, and asserts the counter families and the

@@ -51,6 +51,14 @@
 //	validityd -transport chan -topology random -hosts 60 -seed 23 \
 //	    -agg count,min -hq 0,7 -churn rate=6 -query -queries 8 -concurrency 2
 //
+// Execution is host-sharded: the served hosts are partitioned across a
+// fixed pool of worker goroutines (-shards N, default one per CPU), each
+// draining a bounded queue, so a process carries thousands of hosts at
+// O(shards) goroutines while per-host callbacks stay serialized and
+// ordered. -max-live-queries caps concurrently live queries (issued or
+// arriving as first-contact frames); past the cap, instantiation is
+// rejected with a counted, retryable error instead of growing state.
+//
 // Observability: every process carries a metrics registry and a per-query
 // event tracer; -metrics ADDR exposes them over HTTP — Prometheus text
 // exposition on /metrics (engine demux/drop counters, §6.3 sends and

@@ -151,6 +151,17 @@ type Config struct {
 	// regenerate identical timelines with no coordination messages.
 	Churn string
 
+	// Shards is the number of worker goroutines executing host callbacks
+	// in the engine (node.Config.Shards): 0 defaults to one per available
+	// CPU, clamped to the local host count. The knob that lets one process
+	// serve thousands of hosts without a goroutine per host.
+	Shards int
+	// MaxLiveQueries caps queries with live state per process
+	// (node.Config.MaxLiveQueries): 0 applies the engine default, negative
+	// disables the cap. Instantiation beyond it is rejected and counted on
+	// engine_queries_rejected_total.
+	MaxLiveQueries int
+
 	// FlushWindow is the TCP transport's write-coalescing linger: how long
 	// a peer's writer goroutine waits for more frames before flushing one
 	// batched write. Zero (the default) coalesces only opportunistically,
@@ -212,6 +223,8 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.DurationVar(&cfg.Hop, "hop", 5*time.Millisecond, "wall-clock per-hop delay bound δ")
 	fs.StringVar(&cfg.Kill, "kill", "", "membership events host@tick (leave, §3.2) and +host@tick (join), per query on its own clock")
 	fs.StringVar(&cfg.Churn, "churn", "", "per-query churn model: rate=R[,window=W], model=sessions,mean=M[,join=D][,window=W], model=burst,hosts=A-B,at=T, or trace=FILE (ticks on each query's clock)")
+	fs.IntVar(&cfg.Shards, "shards", 0, "engine worker goroutines sharding the local hosts (0 = one per CPU)")
+	fs.IntVar(&cfg.MaxLiveQueries, "max-live-queries", 0, "admission cap on queries with live state per process (0 = engine default, <0 = unlimited)")
 	fs.DurationVar(&cfg.FlushWindow, "flush-window", 0, "tcp write-coalescing linger per peer (0 = flush immediately; must be < hop/2)")
 	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = forever)")
 	fs.StringVar(&cfg.Metrics, "metrics", "", "serve /metrics, /debug/queries, and /debug/pprof/ on this address (e.g. 127.0.0.1:7190; port 0 picks one)")
@@ -287,6 +300,9 @@ func validate(cfg *Config) error {
 			// headroom the per-hop bound δ reserves.
 			return fmt.Errorf("daemon: -flush-window %v must stay under half of -hop (%v)", cfg.FlushWindow, cfg.Hop)
 		}
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("daemon: -shards must be ≥ 0, got %d", cfg.Shards)
 	}
 	if cfg.Vectors < 1 || cfg.Vectors > 255 {
 		// The canonical wire format carries the repetition count in one
@@ -568,13 +584,15 @@ func Run(cfg *Config) error {
 	}
 
 	rt, err := node.New(node.Config{
-		Graph:     g,
-		Values:    values,
-		Transport: tr,
-		Hop:       cfg.Hop,
-		Local:     local,
-		Obs:       reg,
-		Trace:     tracer,
+		Graph:          g,
+		Values:         values,
+		Transport:      tr,
+		Hop:            cfg.Hop,
+		Local:          local,
+		Shards:         cfg.Shards,
+		MaxLiveQueries: cfg.MaxLiveQueries,
+		Obs:            reg,
+		Trace:          tracer,
 	})
 	if err != nil {
 		return err

@@ -300,29 +300,115 @@ func TestBenchEngine(t *testing.T) {
 	churnWPS := runContinuousStream("-churn", "rate="+strconv.Itoa(churnRate))
 	joinWPS := runContinuousStream("-churn", joinSpec)
 
+	// Scale regime: the host-sharded scheduler's headline — a 2,048-host
+	// fleet in one process on the chan transport. Alongside throughput it
+	// records the two numbers the sharding is supposed to bound: peak live
+	// goroutines (O(shards), not O(hosts)) and peak heap in use (no
+	// per-host inbox buffers). Params mirror TestScaleSmoke2K: a 2K-host
+	// flood needs δ wide enough for ~10K messages a round and D̂ headroom
+	// over the derived diameter+2.
+	const (
+		scaleHosts   = 2048
+		scaleQueries = 4
+	)
+	scalePeaks := sampleRuntimePeaks(5 * time.Millisecond)
+	var scaleOut bytes.Buffer
+	scaleCfg, err := ParseArgs("validityd", []string{
+		"-transport", "chan",
+		"-topology", "random", "-hosts", strconv.Itoa(scaleHosts), "-seed", "23",
+		"-query", "-hq", "0", "-agg", "count",
+		"-queries", strconv.Itoa(scaleQueries), "-concurrency", "1",
+		"-hop", "10ms",
+		"-dhat", "16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaleCfg.Out = &scaleOut
+	scaleStart := time.Now()
+	if err := Run(scaleCfg); err != nil {
+		t.Fatalf("bench scale stream failed: %v\n%s", err, scaleOut.String())
+	}
+	scaleQPS := float64(scaleQueries) / time.Since(scaleStart).Seconds()
+	scalePeakG, scalePeakHeap := scalePeaks.stop()
+
+	// Sharded-TCP regime: the 60-host stream of the static run, but split
+	// across three OS processes on loopback with an explicit -shards 4, so
+	// the trajectory also tracks the engine behind real sockets.
+	tcpQPS := func() float64 {
+		ports := freeAddrs(t, 3)
+		peers := fmt.Sprintf("0-19=%s,20-39=%s,40-59=%s", ports[0], ports[1], ports[2])
+		common := []string{
+			"-transport", "tcp",
+			"-topology", "random", "-hosts", strconv.Itoa(hosts), "-seed", "23",
+			"-peers", peers,
+			"-agg", "count,min",
+			"-hq", "0,7",
+			"-dhat", "12",
+			"-hop", testHop.String(),
+			"-shards", "4",
+		}
+		for _, serve := range []string{"20-39", "40-59"} {
+			args := append(append([]string{}, common...), "-serve", serve)
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(), "VALIDITYD_CHILD_ARGS="+joinArgs(args))
+			var childOut bytes.Buffer
+			cmd.Stdout = &childOut
+			cmd.Stderr = &childOut
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() {
+				cmd.Process.Kill()
+				cmd.Wait()
+			})
+		}
+		waitListening(t, ports[1])
+		waitListening(t, ports[2])
+		var out bytes.Buffer
+		args := append(append([]string{}, common...),
+			"-serve", "0-19", "-query",
+			"-queries", strconv.Itoa(queries), "-concurrency", strconv.Itoa(concurrency))
+		cfg, err := ParseArgs("validityd", args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Out = &out
+		start := time.Now()
+		if err := Run(cfg); err != nil {
+			t.Fatalf("bench tcp-sharded stream failed: %v\n%s", err, out.String())
+		}
+		return float64(queries) / time.Since(start).Seconds()
+	}()
+
 	report := map[string]any{
-		"bench":                 "engine_query_stream",
-		"fleet_hosts":           hosts,
-		"queries":               queries,
-		"concurrency":           concurrency,
-		"hop":                   testHop.String(),
-		"queries_per_sec":       staticQPS,
-		"bytes_per_query":       staticBPQ,
-		"churn_spec":            churnSpec,
-		"queries_per_sec_churn": churnQPS,
-		"join_churn_spec":       joinSpec,
-		"queries_per_sec_join":  joinQPS,
-		"latency_ms_p50":        staticLat.Quantile(0.50),
-		"latency_ms_p95":        staticLat.Quantile(0.95),
-		"latency_ms_p99":        staticLat.Quantile(0.99),
-		"latency_ms_p95_churn":  churnLat.Quantile(0.95),
-		"latency_ms_p99_churn":  churnLat.Quantile(0.99),
-		"latency_ms_p95_join":   joinLat.Quantile(0.95),
-		"latency_ms_p99_join":   joinLat.Quantile(0.99),
-		"windows":               benchWindows,
-		"windows_per_sec":       staticWPS,
-		"windows_per_sec_churn": churnWPS,
-		"windows_per_sec_join":  joinWPS,
+		"bench":                       "engine_query_stream",
+		"fleet_hosts":                 hosts,
+		"queries":                     queries,
+		"concurrency":                 concurrency,
+		"hop":                         testHop.String(),
+		"queries_per_sec":             staticQPS,
+		"bytes_per_query":             staticBPQ,
+		"churn_spec":                  churnSpec,
+		"queries_per_sec_churn":       churnQPS,
+		"join_churn_spec":             joinSpec,
+		"queries_per_sec_join":        joinQPS,
+		"latency_ms_p50":              staticLat.Quantile(0.50),
+		"latency_ms_p95":              staticLat.Quantile(0.95),
+		"latency_ms_p99":              staticLat.Quantile(0.99),
+		"latency_ms_p95_churn":        churnLat.Quantile(0.95),
+		"latency_ms_p99_churn":        churnLat.Quantile(0.99),
+		"latency_ms_p95_join":         joinLat.Quantile(0.95),
+		"latency_ms_p99_join":         joinLat.Quantile(0.99),
+		"windows":                     benchWindows,
+		"windows_per_sec":             staticWPS,
+		"windows_per_sec_churn":       churnWPS,
+		"windows_per_sec_join":        joinWPS,
+		"queries_per_sec_tcp_sharded": tcpQPS,
+		"scale_hosts":                 scaleHosts,
+		"scale_queries_per_sec":       scaleQPS,
+		"scale_peak_goroutines":       scalePeakG,
+		"scale_heap_inuse_bytes":      scalePeakHeap,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -331,8 +417,9 @@ func TestBenchEngine(t *testing.T) {
 	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("%.2f static / %.2f churned / %.2f join-churned queries/sec (static p50/p95/p99 %.0f/%.0f/%.0f ms), %.2f static / %.2f churned / %.2f join-churned windows/sec over %d hosts -> %s",
-		staticQPS, churnQPS, joinQPS,
+	t.Logf("%.2f static / %.2f churned / %.2f join-churned / %.2f tcp-sharded queries/sec (static p50/p95/p99 %.0f/%.0f/%.0f ms), %.2f static / %.2f churned / %.2f join-churned windows/sec over %d hosts; scale: %.2f queries/sec over %d hosts, peak %d goroutines, peak heap %.1f MB -> %s",
+		staticQPS, churnQPS, joinQPS, tcpQPS,
 		staticLat.Quantile(0.50), staticLat.Quantile(0.95), staticLat.Quantile(0.99),
-		staticWPS, churnWPS, joinWPS, hosts, outPath)
+		staticWPS, churnWPS, joinWPS, hosts,
+		scaleQPS, scaleHosts, scalePeakG, float64(scalePeakHeap)/(1<<20), outPath)
 }

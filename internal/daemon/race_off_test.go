@@ -6,3 +6,8 @@ import "time"
 
 // testHop is the wall-clock δ used by these tests; see race_on_test.go.
 const testHop = 5 * time.Millisecond
+
+// raceEnabled gates tests whose fleet size is sized for native execution
+// (the 2K-host scale smoke): under the race detector they would take
+// minutes, not seconds.
+const raceEnabled = false

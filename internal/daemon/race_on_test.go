@@ -7,3 +7,8 @@ import "time"
 // testHop widens the wall-clock δ under the race detector's slowdown (see
 // internal/node's race_on_test.go).
 const testHop = 25 * time.Millisecond
+
+// raceEnabled gates tests whose fleet size is sized for native execution
+// (the 2K-host scale smoke): under the race detector they would take
+// minutes, not seconds.
+const raceEnabled = true

@@ -21,11 +21,12 @@ import (
 // Detail strings of EvFrameDrop trace events. Static strings: recording
 // them allocates nothing.
 const (
-	dropHostDead  = "host-dead"     // delivery to a Kill'd host
-	dropQueryDead = "query-dead"    // host departed on this query's timeline
-	dropRetired   = "retired"       // straggler frame for a retired query
-	dropUnknown   = "unknown-query" // no factory (or invalid id) for the frame
-	dropSendErr   = "send-error"    // transport reported the send lost
+	dropHostDead  = "host-dead"          // delivery to a Kill'd host
+	dropQueryDead = "query-dead"         // host departed on this query's timeline
+	dropRetired   = "retired"            // straggler frame for a retired query
+	dropUnknown   = "unknown-query"      // no factory (or invalid id) for the frame
+	dropSendErr   = "send-error"         // transport reported the send lost
+	dropRejected  = "admission-rejected" // live-query cap reached; not instantiated
 )
 
 // runtimeMetrics is the engine's pre-registered counter set. The zero
@@ -42,6 +43,7 @@ type runtimeMetrics struct {
 	dropSendErr   *obs.Counter
 	timersFired   *obs.Counter
 	instantiated  *obs.Counter
+	rejected      *obs.Counter
 	retired       *obs.Counter
 	compacted     *obs.Counter
 }
@@ -68,22 +70,24 @@ func (rt *Runtime) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		dropSendErr:   reg.Counter(drops, dropsHelp, "reason="+dropSendErr),
 		timersFired:   reg.Counter("node_timers_fired_total", "Protocol timer callbacks fired off the shared heap."),
 		instantiated:  reg.Counter("node_queries_instantiated_total", "Query instances materialized (issued or first contact)."),
+		rejected:      reg.Counter("engine_queries_rejected_total", "Query instantiations rejected by the live-query admission cap."),
 		retired:       reg.Counter("node_queries_retired_total", "Queries whose protocol state was retired."),
 		compacted:     reg.Counter("node_queries_compacted_total", "Retired queries compacted to ring summaries."),
 	}
-	reg.GaugeFunc("node_inbox_depth_max", "Deepest per-host inbox backlog.", func() float64 {
+	reg.Gauge("node_shards", "Shard workers executing host callbacks.").Set(int64(len(rt.shards)))
+	reg.GaugeFunc("node_shard_queue_depth_max", "Deepest per-shard callback backlog (queued plus parked).", func() float64 {
 		var max int
-		for _, h := range rt.localHosts {
-			if n := len(rt.inbox[h]); n > max {
+		for _, s := range rt.shards {
+			if n := s.depth(); n > max {
 				max = n
 			}
 		}
 		return float64(max)
 	})
-	reg.GaugeFunc("node_inbox_depth_total", "Pending callbacks across all local inboxes.", func() float64 {
+	reg.GaugeFunc("node_shard_queue_depth_total", "Pending callbacks across all shard queues (queued plus parked).", func() float64 {
 		var total int
-		for _, h := range rt.localHosts {
-			total += len(rt.inbox[h])
+		for _, s := range rt.shards {
+			total += s.depth()
 		}
 		return float64(total)
 	})
@@ -93,13 +97,13 @@ func (rt *Runtime) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		rt.tmu.Unlock()
 		return float64(n)
 	})
-	reg.GaugeFunc("node_overflow_parked", "Items parked on congested hosts' overflow queues.", func() float64 {
-		rt.omu.Lock()
+	reg.GaugeFunc("node_overflow_parked", "Items parked on congested shards' overflow queues.", func() float64 {
 		var total int
-		for _, q := range rt.overflow {
-			total += len(q)
+		for _, s := range rt.shards {
+			s.mu.Lock()
+			total += len(s.ov)
+			s.mu.Unlock()
 		}
-		rt.omu.Unlock()
 		return float64(total)
 	})
 	reg.GaugeFunc("node_queries_live", "Queries with live (not yet compacted) state.", func() float64 {
@@ -108,6 +112,7 @@ func (rt *Runtime) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		rt.mu.Unlock()
 		return float64(n)
 	})
+	obs.RegisterRuntimeHealth(reg)
 }
 
 // Obs returns the runtime's metrics registry (nil when disabled); the

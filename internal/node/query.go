@@ -104,7 +104,7 @@ func (rt *Runtime) StartQuery(id QueryID) (*QueryInstance, error) {
 }
 
 // QueryResult reads query id's declared result at host h, executing the
-// read on h's goroutine so it cannot race in-flight handler callbacks.
+// read on h's shard worker so it cannot race in-flight handler callbacks.
 func (rt *Runtime) QueryResult(id QueryID, h graph.HostID) (float64, bool, error) {
 	qs := rt.lookupQuery(id)
 	if qs == nil {
@@ -173,6 +173,18 @@ func (rt *Runtime) queryForErr(id QueryID, create bool) (*queryState, bool, erro
 			rt.mu.Unlock()
 			return nil, false, nil
 		}
+		// Admission control: a saturated runtime refuses to materialize new
+		// query state (the default entry does not count against the cap).
+		// No entry or tombstone is created, so a retry after load drops —
+		// or after retired queries compact away — can still succeed.
+		if rt.maxLive >= 0 && len(rt.queries)-1 >= rt.maxLive {
+			rt.mu.Unlock()
+			rt.met.rejected.Inc()
+			if rt.trace != nil {
+				rt.trace.Record(int64(id), obs.EvFrameDrop, -1, 0, dropRejected)
+			}
+			return nil, false, fmt.Errorf("node: query %d: %w (cap %d)", id, ErrQueryRejected, rt.maxLive)
+		}
 		e = &queryEntry{}
 		rt.queries[id] = e
 	}
@@ -220,9 +232,9 @@ func (rt *Runtime) queryForErr(id QueryID, create bool) (*queryState, bool, erro
 
 // retire marks qs dead to the dispatcher, drops the protocol instance —
 // which pins every host's protocol state, so results must be read before
-// the deadline-plus-grace window closes — and hands each host goroutine
-// the job of dropping its own handler reference, so nothing is freed
-// while an in-flight callback could still touch it. Stats counters
+// the deadline-plus-grace window closes — and hands each host's shard
+// worker the job of dropping the host's handler reference, so nothing is
+// freed while an in-flight callback could still touch it. Stats counters
 // survive retirement.
 func (rt *Runtime) retire(qs *queryState) {
 	if qs.id == DefaultQuery {
@@ -268,9 +280,9 @@ type queryState struct {
 	clockStart atomic.Pointer[time.Time]
 
 	// started[h] records that host h's handler has run Start for this
-	// query. It is read and written only from h's own goroutine (Start,
-	// Receive and Timer of a host all serialize through its inbox), so no
-	// synchronization is needed.
+	// query. It is read and written only from the shard worker owning h
+	// (Start, Receive and Timer of a host all serialize through its
+	// shard), so no synchronization is needed.
 	started []bool
 
 	// Per-query membership (nil when the query has no churn timeline):
@@ -363,7 +375,7 @@ func (qs *queryState) markAlive(h graph.HostID) {
 }
 
 // startHost runs hd.Start exactly once for host h; must be called from
-// h's goroutine (hostLoop).
+// the shard worker owning h.
 func (qs *queryState) startHost(rt *Runtime, h graph.HostID, hd sim.Handler) {
 	if qs.started[h] {
 		return

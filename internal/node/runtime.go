@@ -1,5 +1,5 @@
-// Package node is the goroutine-per-peer runtime that executes the
-// protocol state machines of internal/protocol — unchanged sim.Handler
+// Package node is the host-sharded runtime that executes the protocol
+// state machines of internal/protocol — unchanged sim.Handler
 // implementations — on real concurrent peers over any transport
 // (internal/transport). It is the layer that turns the paper's
 // reproduction into a deployable system: the same WILDFIRE handler that
@@ -17,18 +17,30 @@
 // and its own §6.3 cost accounting, so per-answer validity deadlines stay
 // individually checkable while the fleet amortizes its infrastructure
 // across queries. Query state is retired after the deadline has safely
-// passed.
+// passed, and a live-query admission cap (Config.MaxLiveQueries) rejects
+// new instantiations once the fleet saturates, so overload degrades into
+// counted rejections instead of unbounded state.
 //
 // The mapping to the paper's model (§3.1–3.2): each peer is a host of G,
 // Kill is an end-user switching the application off mid-query, and the
 // per-hop delay bound δ is a configured wall-clock duration Hop — timers
-// and deadlines expressed in ticks are realized as multiples of it. Every
-// callback of a given host runs on that host's single goroutine: receives
-// (across all queries), timer firings, and Start are serialized through
-// one inbox, so handlers written for the single-threaded event loop need
-// no extra locking here. Timers across all hosts and queries share one
-// per-runtime timer heap drained by a single goroutine, so 10K hosts ×
-// many queries does not churn a goroutine per timer.
+// and deadlines expressed in ticks are realized as multiples of it.
+//
+// Execution is host-sharded (§6 runs at 10,000 hosts; one goroutine and
+// one deep inbox channel per host would cost ~10K goroutines and
+// gigabytes of eagerly allocated buffers before a single query runs): a
+// small pool of Config.Shards worker goroutines — by default one per
+// available CPU — each owns a fixed partition of the local hosts and
+// drains one bounded per-shard queue. All callbacks of a given host
+// (receives across all queries, timer firings, Start, Do closures) are
+// routed to that host's shard, so they still execute serialized and in
+// enqueue order on a single goroutine — handlers written for the
+// single-threaded event loop need no extra locking here — while memory
+// drops from O(hosts × inboxCap) to O(shards × shardCap). Timers across
+// all hosts and queries share one per-runtime timer heap drained by a
+// single goroutine, and that loop never blocks on a congested shard: a
+// full shard queue parks items on the shard's overflow list, fed in FIFO
+// order by a transient drainer goroutine.
 //
 // Cost accounting mirrors §6.3 and sim.Stats per query: messages sent,
 // bytes on the wire (internal/wire's canonical encoding), messages
@@ -38,8 +50,10 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	gort "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,14 +73,29 @@ type QueryID = transport.QueryID
 // DefaultQuery is the reserved QueryID of the single-query face.
 const DefaultQuery QueryID = 0
 
-// inboxCap bounds a host's pending-callback queue. Transport delivery
-// goroutines block when it fills, which back-pressures senders instead of
-// growing memory without bound.
-const inboxCap = 4096
+// shardQueueCap is the default bound on a shard's pending-callback queue.
+// Transport delivery goroutines block when it fills, which back-pressures
+// senders instead of growing memory without bound. Each shard's queue is
+// widened to hold at least one Start item per owned host, so Start can
+// seed every host before the workers launch without wedging.
+const shardQueueCap = 1024
 
-// item is one serialized callback for a host goroutine.
+// DefaultMaxLiveQueries is the admission cap applied when
+// Config.MaxLiveQueries is zero: the number of queries with live
+// (not-yet-compacted) state one runtime will hold before rejecting new
+// instantiations.
+const DefaultMaxLiveQueries = 4096
+
+// ErrQueryRejected is returned (wrapped) by StartQuery when the live-query
+// admission cap is reached; frames for not-yet-instantiated queries are
+// dropped with the same accounting (engine_queries_rejected_total).
+var ErrQueryRejected = errors.New("live-query admission cap reached")
+
+// item is one serialized callback for a host, routed to the shard worker
+// that owns the host.
 type item struct {
 	kind  itemKind
+	h     graph.HostID
 	qs    *queryState
 	msg   transport.Message
 	tag   int
@@ -80,9 +109,35 @@ const (
 	itemStart itemKind = iota
 	itemMsg
 	itemTimer
-	itemFunc   // run an arbitrary closure on the host goroutine (Do)
+	itemFunc   // run an arbitrary closure on the host's shard worker (Do)
 	itemRetire // drop the host's handler for a retired query
 )
+
+// shard is one worker's slice of the runtime: a bounded queue of host
+// callbacks plus the overflow list the timer loop parks into when the
+// queue is full. Every local host maps to exactly one shard (Runtime.
+// shardOf), and only that shard's worker runs the host's callbacks, which
+// is what keeps per-host execution serialized without a goroutine per
+// host.
+type shard struct {
+	ch chan item
+
+	// Overflow for dispatch(): items parked when ch is full, fed in FIFO
+	// order by at most one drainer goroutine (busy) so the timer loop
+	// never blocks behind a congested shard and per-host ordering is
+	// preserved.
+	mu   sync.Mutex
+	ov   []item
+	busy bool
+}
+
+// depth is the shard's pending-callback count: queued plus parked.
+func (s *shard) depth() int {
+	s.mu.Lock()
+	parked := len(s.ov)
+	s.mu.Unlock()
+	return len(s.ch) + parked
+}
 
 // Config configures a Runtime.
 type Config struct {
@@ -104,11 +159,28 @@ type Config struct {
 	// Local lists the hosts this runtime serves; nil means all of them
 	// (the single-process case).
 	Local []graph.HostID
+	// Shards is the number of worker goroutines executing host callbacks;
+	// each owns a fixed partition of the local hosts. Zero means one per
+	// available CPU (GOMAXPROCS), and the count is clamped to the local
+	// host count — a 10K-host process runs ~NumCPU workers, not 10K
+	// goroutines.
+	Shards int
+	// ShardQueue bounds each shard's pending-callback queue (0 = the
+	// shardQueueCap default). Mainly a test knob: tiny queues force the
+	// overflow path.
+	ShardQueue int
+	// MaxLiveQueries caps how many queries may hold live (not-yet-
+	// compacted) state at once; instantiation beyond it — StartQuery or a
+	// frame's first contact — is rejected and counted
+	// (engine_queries_rejected_total), so a saturated fleet degrades into
+	// predictable rejections instead of growing state. Zero applies
+	// DefaultMaxLiveQueries; negative disables the cap.
+	MaxLiveQueries int
 	// Obs, when non-nil, receives the engine's metrics: demux and drop
 	// counters, §6.3 sends/bytes, query lifecycle counts, and sampled
-	// gauges for inbox depth and timer-heap length (see obs.go). Nil
-	// disables instrumentation at the cost of one branch per update. A
-	// registry must not be shared between runtimes in one process — the
+	// gauges for shard queue depth and timer-heap length (see obs.go).
+	// Nil disables instrumentation at the cost of one branch per update.
+	// A registry must not be shared between runtimes in one process — the
 	// sampled gauges are per-runtime closures.
 	Obs *obs.Registry
 	// Trace, when non-nil, records per-query lifecycle events (issued,
@@ -177,7 +249,13 @@ type Runtime struct {
 	local      []bool
 	localHosts []graph.HostID
 
-	inbox []chan item
+	// Host-sharded execution: shardOf[h] names the one shard whose worker
+	// runs every callback of local host h (-1 for hosts served
+	// elsewhere). The partition is fixed at construction, so per-host
+	// serialization needs no locking — it is single-ownership.
+	shards  []*shard
+	shardOf []int32
+	maxLive int // admission cap; -1 = unlimited
 
 	mu      sync.Mutex
 	alive   []bool
@@ -209,13 +287,6 @@ type Runtime struct {
 	timerWake    chan struct{}
 	pendingKills []pendingKill
 
-	// Per-host overflow queues for dispatch(): when a host's inbox is
-	// full, its items park here in FIFO order and at most one drainer
-	// goroutine per congested host feeds them in, so the timer loop never
-	// blocks behind one slow host and per-host ordering is preserved.
-	omu      sync.Mutex
-	overflow map[graph.HostID][]item
-
 	// Observability (obs.go): nil obs/trace disable instrumentation; met
 	// holds pre-registered counters so hot paths never look anything up.
 	obs   *obs.Registry
@@ -244,13 +315,12 @@ func New(cfg Config) (*Runtime, error) {
 		tr:           cfg.Transport,
 		hop:          cfg.Hop,
 		local:        make([]bool, n),
-		inbox:        make([]chan item, n),
+		shardOf:      make([]int32, n),
 		alive:        make([]bool, n),
 		queries:      make(map[QueryID]*queryEntry),
 		retiredTotal: Stats{PerHostProcessed: make([]int64, n)},
 		quit:         make(chan struct{}),
 		timerWake:    make(chan struct{}, 1),
-		overflow:     make(map[graph.HostID][]item),
 	}
 	if cfg.Local == nil {
 		for h := range rt.local {
@@ -264,12 +334,55 @@ func New(cfg Config) (*Runtime, error) {
 			rt.local[h] = true
 		}
 	}
+	for h := range rt.shardOf {
+		rt.shardOf[h] = -1
+	}
 	for h := range rt.local {
 		if rt.local[h] {
 			rt.alive[h] = true
-			rt.inbox[h] = make(chan item, inboxCap)
 			rt.localHosts = append(rt.localHosts, graph.HostID(h))
 		}
+	}
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = gort.GOMAXPROCS(0)
+	}
+	if nshards > len(rt.localHosts) {
+		nshards = len(rt.localHosts)
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	// Round-robin over the sorted local host list: partitions stay within
+	// one host of each other in size no matter how the shard boundary of
+	// the process was drawn.
+	perShard := make([]int, nshards)
+	for i, h := range rt.localHosts {
+		s := i % nshards
+		rt.shardOf[h] = int32(s)
+		perShard[s]++
+	}
+	qcap := cfg.ShardQueue
+	if qcap <= 0 {
+		qcap = shardQueueCap
+	}
+	rt.shards = make([]*shard, nshards)
+	for s := range rt.shards {
+		c := qcap
+		// Start seeds one itemStart per owned host before the workers
+		// launch; the queue must absorb them all without a drain.
+		if min := perShard[s] + 1; c < min {
+			c = min
+		}
+		rt.shards[s] = &shard{ch: make(chan item, c)}
+	}
+	switch {
+	case cfg.MaxLiveQueries < 0:
+		rt.maxLive = -1
+	case cfg.MaxLiveQueries == 0:
+		rt.maxLive = DefaultMaxLiveQueries
+	default:
+		rt.maxLive = cfg.MaxLiveQueries
 	}
 	rt.initObs(cfg.Obs, cfg.Trace)
 	rt.def = newQueryState(rt, DefaultQuery, nil, 0)
@@ -284,6 +397,9 @@ func (rt *Runtime) Graph() *graph.Graph { return rt.g }
 
 // Hop returns the wall-clock realization of the per-hop delay bound δ.
 func (rt *Runtime) Hop() time.Duration { return rt.hop }
+
+// Shards returns the number of shard workers executing host callbacks.
+func (rt *Runtime) Shards() int { return len(rt.shards) }
 
 // Values returns the per-host attribute values. The slice is the
 // runtime's own backing array: callers must treat it as read-only.
@@ -307,9 +423,9 @@ func (rt *Runtime) SetHandler(h graph.HostID, hd sim.Handler) {
 // (nil otherwise).
 func (rt *Runtime) Handler(h graph.HostID) sim.Handler { return rt.def.handlers[h] }
 
-// Start binds every local host on the transport, opens it, launches one
-// goroutine per local host plus the timer loop, and invokes each
-// default-query handler's Start on its own goroutine.
+// Start binds every local host on the transport, opens it, launches the
+// shard workers plus the timer loop, and invokes each default-query
+// handler's Start on its host's shard.
 func (rt *Runtime) Start() error {
 	rt.mu.Lock()
 	if rt.started {
@@ -320,9 +436,10 @@ func (rt *Runtime) Start() error {
 	rt.mu.Unlock()
 
 	for _, h := range rt.localHosts {
-		// Start is enqueued before the host is reachable, so it is always
-		// the first callback the host goroutine runs.
-		rt.inbox[h] <- item{kind: itemStart, qs: rt.def}
+		// Start is enqueued before the host is reachable, so it is the
+		// first callback of the host its shard worker runs (and startHost
+		// is exactly-once even against a frame that would race it).
+		rt.enqueue(h, item{kind: itemStart, qs: rt.def})
 		if err := rt.tr.Bind(h, rt.recvFunc(h)); err != nil {
 			return err
 		}
@@ -336,24 +453,31 @@ func (rt *Runtime) Start() error {
 	if w, ok := rt.tr.(transport.Warmer); ok {
 		w.Warm()
 	}
-	for _, h := range rt.localHosts {
+	for _, s := range rt.shards {
 		rt.wg.Add(1)
-		go rt.hostLoop(h)
+		go rt.shardLoop(s)
 	}
 	rt.wg.Add(1)
 	go rt.timerLoop()
 	return nil
 }
 
-// recvFunc demultiplexes a transport delivery into h's inbox: the frame's
-// QueryID selects (or lazily instantiates) the query it belongs to.
+// recvFunc demultiplexes a transport delivery into h's shard queue: the
+// frame's QueryID selects (or lazily instantiates) the query it belongs
+// to.
 func (rt *Runtime) recvFunc(h graph.HostID) transport.RecvFunc {
 	return func(m transport.Message) {
 		rt.met.framesIn.Inc()
-		qs := rt.queryFor(m.Query, true)
+		qs, _, err := rt.queryForErr(m.Query, true)
+		if err != nil && errors.Is(err, ErrQueryRejected) {
+			// Admission control: the rejection was counted (and traced)
+			// where it was decided; the frame is simply not demuxed.
+			return
+		}
 		if qs == nil {
-			// Unknown query and no factory to build it. Counted but not
-			// traced: hostile ids must not churn the tracer's query rings.
+			// Unknown query and no factory to build it (or the factory
+			// failed). Counted but not traced: hostile ids must not churn
+			// the tracer's query rings.
 			rt.met.dropUnknown.Inc()
 			return
 		}
@@ -363,158 +487,169 @@ func (rt *Runtime) recvFunc(h graph.HostID) transport.RecvFunc {
 			rt.dropRetired(qs)
 			return
 		}
-		select {
-		case rt.inbox[h] <- item{kind: itemMsg, qs: qs, msg: m}:
-		case <-rt.quit:
-		}
+		rt.enqueue(h, item{kind: itemMsg, qs: qs, msg: m})
 	}
 }
 
-// enqueue places it into h's inbox, blocking under back-pressure (a full
-// inbox already means the per-hop budget is blown). For callers that must
-// not stall — the timer loop — use dispatch instead. The quit select
-// keeps shutdown from hanging on a congested host.
+// enqueue places it on h's shard queue, blocking under back-pressure (a
+// full shard already means the per-hop budget is blown). For callers that
+// must not stall — the timer loop — use dispatch instead. The quit select
+// keeps shutdown from hanging on a congested shard.
 func (rt *Runtime) enqueue(h graph.HostID, it item) {
+	it.h = h
+	s := rt.shards[rt.shardOf[h]]
 	select {
-	case rt.inbox[h] <- it:
+	case s.ch <- it:
 	case <-rt.quit:
 	}
 }
 
 // dispatch is enqueue for the timer loop: it never blocks the caller. A
-// full inbox parks the item on the host's overflow queue, fed in FIFO
-// order by at most one drainer goroutine per congested host, so one slow
-// host cannot stall timers, kills, or retirements of every other host,
-// and a host's items still arrive in the order they fired.
+// full shard queue parks the item on the shard's overflow list, fed in
+// FIFO order by at most one drainer goroutine per congested shard, so one
+// slow shard cannot stall timers, kills, or retirements of every other
+// shard, and a host's items still arrive in the order they fired.
 func (rt *Runtime) dispatch(h graph.HostID, it item) {
-	rt.omu.Lock()
-	if q, busy := rt.overflow[h]; busy {
-		rt.overflow[h] = append(q, it) // keep FIFO behind parked items
-		rt.omu.Unlock()
+	it.h = h
+	s := rt.shards[rt.shardOf[h]]
+	s.mu.Lock()
+	if s.busy {
+		s.ov = append(s.ov, it) // keep FIFO behind parked items
+		s.mu.Unlock()
 		return
 	}
-	rt.omu.Unlock()
+	s.mu.Unlock()
 	select {
-	case rt.inbox[h] <- it:
+	case s.ch <- it:
 		return
 	case <-rt.quit:
 		return
 	default:
 	}
-	rt.omu.Lock()
-	if q, busy := rt.overflow[h]; busy {
-		rt.overflow[h] = append(q, it)
-		rt.omu.Unlock()
+	s.mu.Lock()
+	if s.busy {
+		s.ov = append(s.ov, it)
+		s.mu.Unlock()
 		return
 	}
-	rt.overflow[h] = []item{it}
-	rt.omu.Unlock()
-	go rt.drainOverflow(h)
+	s.busy = true
+	s.ov = append(s.ov, it)
+	s.mu.Unlock()
+	go rt.drainOverflow(s)
 }
 
-// drainOverflow feeds h's parked items into its inbox in order, exiting
-// once the queue empties (or the runtime stops).
-func (rt *Runtime) drainOverflow(h graph.HostID) {
+// drainOverflow feeds s's parked items into its queue in order, exiting
+// once the overflow empties (or the runtime stops).
+func (rt *Runtime) drainOverflow(s *shard) {
 	for {
-		rt.omu.Lock()
-		q := rt.overflow[h]
-		if len(q) == 0 {
-			delete(rt.overflow, h)
-			rt.omu.Unlock()
+		s.mu.Lock()
+		if len(s.ov) == 0 {
+			s.busy = false
+			s.ov = nil
+			s.mu.Unlock()
 			return
 		}
-		it := q[0]
-		rt.overflow[h] = q[1:]
-		rt.omu.Unlock()
+		it := s.ov[0]
+		s.ov = s.ov[1:]
+		s.mu.Unlock()
 		select {
-		case rt.inbox[h] <- it:
+		case s.ch <- it:
 		case <-rt.quit:
 			return
 		}
 	}
 }
 
-// hostLoop is host h: it drains the inbox, running every callback of h —
-// across all queries — on this single goroutine.
-func (rt *Runtime) hostLoop(h graph.HostID) {
+// shardLoop is one shard worker: it drains the shard's queue, running
+// every callback of every host the shard owns on this single goroutine.
+// A host's callbacks all land on one shard (shardOf is fixed), so they
+// execute serialized and in enqueue order without per-host goroutines.
+func (rt *Runtime) shardLoop(s *shard) {
 	defer rt.wg.Done()
 	for {
 		select {
 		case <-rt.quit:
 			return
-		case it := <-rt.inbox[h]:
-			switch it.kind {
-			case itemFunc:
-				it.fn() // runs even on a dead host: state reads stay safe
-				continue
-			case itemRetire:
-				it.qs.handlers[h] = nil
-				continue
-			}
-			qs := it.qs
-			// Retirement is checked before host liveness so that EVERY
-			// retired-query drop — including one at a Kill'd host — goes
-			// through dropRetired's serialization with compact; a lock-free
-			// increment here could land after the compaction snapshot and
-			// be lost from the folded totals.
-			if qs.retired.Load() {
-				if it.kind == itemMsg {
-					rt.dropRetired(qs)
-				}
-				continue
-			}
-			if !rt.aliveHost(h) {
-				if it.kind == itemMsg {
-					qs.dropped.Add(1)
-					rt.met.dropHostDead.Inc()
-					rt.traceDrop(qs, h, dropHostDead)
-				}
-				continue
-			}
-			if it.kind == itemMsg {
-				// First traffic arms the query clock even when the local
-				// target is dead on this query's timeline: the frame proves
-				// the query reached this process, and the clock is what
-				// schedules the timeline's own join ticks — a shard whose
-				// every local host starts absent must still wake them.
-				qs.armClock(rt)
-			}
-			if qs.hostDead(h) {
-				// Dead on this query's membership timeline: its frames are
-				// swallowed and its timers never fire, while the host keeps
-				// serving every other query of the fleet.
-				if it.kind == itemMsg {
-					qs.dropped.Add(1)
-					rt.met.dropQueryDead.Inc()
-					rt.traceDrop(qs, h, dropQueryDead)
-				}
-				continue
-			}
-			hd := qs.handlers[h]
-			if hd == nil {
-				continue
-			}
-			switch it.kind {
-			case itemStart:
-				qs.startHost(rt, h, hd)
-			case itemMsg:
-				// A lazily instantiated handler's first contact IS its
-				// start-of-life: run Start before the first Receive, so
-				// protocols that initialize per-host state in Start (not
-				// just at h_q) work on worker shards that never see
-				// StartQuery. started[h] makes it exactly-once against the
-				// explicit itemStart of the issuing process.
-				qs.startHost(rt, h, hd)
-				qs.delivered.Add(1)
-				rt.met.delivered.Inc()
-				atomic.AddInt64(&qs.processed[h], 1)
-				qs.observeChain(it.msg.Chain)
-				msg := sim.MakeMessage(it.msg.From, it.msg.To, it.msg.Payload, it.msg.Chain)
-				hd.Receive(sim.BackendContext(qs.be, h, it.msg.Chain), msg)
-			case itemTimer:
-				hd.Timer(sim.BackendContext(qs.be, h, it.chain), it.tag)
-			}
+		case it := <-s.ch:
+			rt.runItem(it)
 		}
+	}
+}
+
+// runItem executes one host callback; must only be called from the shard
+// worker owning it.h.
+func (rt *Runtime) runItem(it item) {
+	h := it.h
+	switch it.kind {
+	case itemFunc:
+		it.fn() // runs even on a dead host: state reads stay safe
+		return
+	case itemRetire:
+		it.qs.handlers[h] = nil
+		return
+	}
+	qs := it.qs
+	// Retirement is checked before host liveness so that EVERY
+	// retired-query drop — including one at a Kill'd host — goes
+	// through dropRetired's serialization with compact; a lock-free
+	// increment here could land after the compaction snapshot and
+	// be lost from the folded totals.
+	if qs.retired.Load() {
+		if it.kind == itemMsg {
+			rt.dropRetired(qs)
+		}
+		return
+	}
+	if !rt.aliveHost(h) {
+		if it.kind == itemMsg {
+			qs.dropped.Add(1)
+			rt.met.dropHostDead.Inc()
+			rt.traceDrop(qs, h, dropHostDead)
+		}
+		return
+	}
+	if it.kind == itemMsg {
+		// First traffic arms the query clock even when the local
+		// target is dead on this query's timeline: the frame proves
+		// the query reached this process, and the clock is what
+		// schedules the timeline's own join ticks — a shard whose
+		// every local host starts absent must still wake them.
+		qs.armClock(rt)
+	}
+	if qs.hostDead(h) {
+		// Dead on this query's membership timeline: its frames are
+		// swallowed and its timers never fire, while the host keeps
+		// serving every other query of the fleet.
+		if it.kind == itemMsg {
+			qs.dropped.Add(1)
+			rt.met.dropQueryDead.Inc()
+			rt.traceDrop(qs, h, dropQueryDead)
+		}
+		return
+	}
+	hd := qs.handlers[h]
+	if hd == nil {
+		return
+	}
+	switch it.kind {
+	case itemStart:
+		qs.startHost(rt, h, hd)
+	case itemMsg:
+		// A lazily instantiated handler's first contact IS its
+		// start-of-life: run Start before the first Receive, so
+		// protocols that initialize per-host state in Start (not
+		// just at h_q) work on worker shards that never see
+		// StartQuery. started[h] makes it exactly-once against the
+		// explicit itemStart of the issuing process.
+		qs.startHost(rt, h, hd)
+		qs.delivered.Add(1)
+		rt.met.delivered.Inc()
+		atomic.AddInt64(&qs.processed[h], 1)
+		qs.observeChain(it.msg.Chain)
+		msg := sim.MakeMessage(it.msg.From, it.msg.To, it.msg.Payload, it.msg.Chain)
+		hd.Receive(sim.BackendContext(qs.be, h, it.msg.Chain), msg)
+	case itemTimer:
+		hd.Timer(sim.BackendContext(qs.be, h, it.chain), it.tag)
 	}
 }
 
@@ -543,17 +678,19 @@ func (rt *Runtime) Kill(h graph.HostID) {
 // Alive reports whether local host h is alive.
 func (rt *Runtime) Alive(h graph.HostID) bool { return rt.local[h] && rt.aliveHost(h) }
 
-// Do runs fn on host h's goroutine, serialized with every callback of h,
-// and returns once fn has completed. It is how callers read protocol state
-// (results, partials) of an in-flight query without racing the handlers.
+// Do runs fn on the shard worker owning host h, serialized with every
+// callback of h, and returns once fn has completed. It is how callers
+// read protocol state (results, partials) of an in-flight query without
+// racing the handlers.
 func (rt *Runtime) Do(h graph.HostID, fn func()) error {
 	if !rt.local[h] {
 		return fmt.Errorf("node: host %d not served by this runtime", h)
 	}
 	done := make(chan struct{})
-	it := item{kind: itemFunc, fn: func() { fn(); close(done) }}
+	it := item{kind: itemFunc, h: h, fn: func() { fn(); close(done) }}
+	s := rt.shards[rt.shardOf[h]]
 	select {
-	case rt.inbox[h] <- it:
+	case s.ch <- it:
 	case <-rt.quit:
 		return fmt.Errorf("node: runtime stopped")
 	}
@@ -565,7 +702,7 @@ func (rt *Runtime) Do(h graph.HostID, fn func()) error {
 	}
 }
 
-// Stop terminates all host goroutines and the timer loop, closes the
+// Stop terminates the shard workers and the timer loop, closes the
 // transport, and waits for everything to drain. Safe to call more than
 // once.
 func (rt *Runtime) Stop() {
@@ -650,7 +787,7 @@ func (rt *Runtime) armEngineClock() {
 // WithRand wraps hd so that every callback context carries rng. Live
 // backends have no shared deterministic RNG (sim.Context.Rand returns nil
 // there), but FM-sketch partials need coin tosses at activation; the
-// runtime serializes all callbacks of a host on one goroutine, so an
+// runtime serializes all callbacks of a host on one shard worker, so an
 // unsynchronized per-host source is safe.
 func WithRand(hd sim.Handler, rng *rand.Rand) sim.Handler {
 	return &randHandler{inner: hd, rng: rng}

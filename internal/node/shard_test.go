@@ -1,0 +1,323 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"validity/internal/graph"
+	"validity/internal/obs"
+	"validity/internal/sim"
+	"validity/internal/transport"
+)
+
+// orderProbe is a handler asserting the shard scheduler's correctness
+// invariant at one host: callbacks arrive in enqueue order and never run
+// concurrently. `next` is a deliberately plain (non-atomic) field — under
+// `go test -race`, two shard workers touching the same host would trip
+// the race detector even if the CAS guard happened to miss the overlap.
+type orderProbe struct {
+	h    graph.HostID
+	busy atomic.Bool
+	next int
+	errs chan string
+}
+
+func (p *orderProbe) Start(ctx *sim.Context) {}
+func (p *orderProbe) Receive(ctx *sim.Context, msg sim.Message) {
+	if !p.busy.CompareAndSwap(false, true) {
+		p.errs <- fmt.Sprintf("host %d: concurrent callbacks", p.h)
+		return
+	}
+	if seq := msg.Payload.(int); seq != p.next {
+		p.errs <- fmt.Sprintf("host %d: seq %d delivered, want %d (reorder)", p.h, seq, p.next)
+	}
+	p.next++
+	p.busy.Store(false)
+}
+func (p *orderProbe) Timer(ctx *sim.Context, tag int) {}
+
+// TestShardSerializationProperty is the property test for host-sharded
+// execution: 16 hosts multiplexed onto 4 shard workers with a queue small
+// enough to exercise back-pressure, each host fed an independent ordered
+// message stream from its own producer goroutine. Every host must see its
+// stream strictly in order with no concurrent callbacks (the plain `next`
+// counter doubles as a race-detector tripwire), and a final Do per host —
+// which serializes behind the host's queued callbacks — must observe the
+// complete stream.
+func TestShardSerializationProperty(t *testing.T) {
+	const (
+		hosts   = 16
+		msgs    = 150
+		nshards = 4
+	)
+	g := line(hosts)
+	tr := transport.NewChannel(hosts, 0)
+	rt, err := New(Config{
+		Graph:      g,
+		Transport:  tr,
+		Hop:        time.Millisecond,
+		Shards:     nshards,
+		ShardQueue: 8, // force back-pressure and queue reuse
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Shards(); got != nshards {
+		t.Fatalf("runtime has %d shards, want %d", got, nshards)
+	}
+	errs := make(chan string, hosts*msgs)
+	probes := make([]*orderProbe, hosts)
+	for h := 0; h < hosts; h++ {
+		probes[h] = &orderProbe{h: graph.HostID(h), errs: errs}
+		rt.SetHandler(graph.HostID(h), probes[h])
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// One producer per host: the channel transport's single delivery
+	// scheduler preserves global send order, so each host's stream arrives
+	// at its shard in sequence even while 16 streams interleave.
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h graph.HostID) {
+			defer wg.Done()
+			for seq := 0; seq < msgs; seq++ {
+				if err := tr.Send(transport.Message{From: h, To: h, Query: DefaultQuery, Payload: seq}); err != nil {
+					errs <- fmt.Sprintf("host %d: send %d: %v", h, seq, err)
+					return
+				}
+			}
+		}(graph.HostID(h))
+	}
+	wg.Wait()
+
+	// Do serializes behind everything already queued for the host, so when
+	// it runs, the host's full stream must have been processed — and the
+	// closure reads `next` from the shard worker, not the test goroutine.
+	for h := 0; h < hosts; h++ {
+		h := graph.HostID(h)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var got int
+			if err := rt.Do(h, func() { got = probes[h].next }); err != nil {
+				t.Fatal(err)
+			}
+			if got == msgs {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("host %d processed %d/%d messages", h, got, msgs)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// gateHandler blocks its shard worker inside Receive until released —
+// the congested-host fixture.
+type gateHandler struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+	seen    []int
+}
+
+func (gh *gateHandler) Start(ctx *sim.Context) {}
+func (gh *gateHandler) Receive(ctx *sim.Context, msg sim.Message) {
+	gh.once.Do(func() {
+		close(gh.entered)
+		<-gh.release
+	})
+	gh.seen = append(gh.seen, msg.Payload.(int))
+}
+func (gh *gateHandler) Timer(ctx *sim.Context, tag int) {}
+
+// TestDispatchCongestionDoesNotBlockTimers wedges one shard — its worker
+// parked inside a handler, its queue full, dispatch spilling to the
+// overflow list — and checks the two halves of the timer-loop contract:
+// a timer owned by another shard still fires on time, and the congested
+// shard's parked items drain in FIFO order once the handler returns.
+func TestDispatchCongestionDoesNotBlockTimers(t *testing.T) {
+	const hop = raceSlowdown * 10 * time.Millisecond
+	g := line(2)
+	tr := transport.NewChannel(2, 0)
+	rt, err := New(Config{
+		Graph:      g,
+		Transport:  tr,
+		Hop:        hop,
+		Shards:     2, // host 0 → shard 0, host 1 → shard 1
+		ShardQueue: 1, // widened to 2 (hostsInShard+1) by New
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateHandler{entered: make(chan struct{}), release: make(chan struct{})}
+	rt.SetHandler(0, gate)
+	fired := make(chan int, 1)
+	rt.SetHandler(1, &timerHandler{
+		onStart: func(ctx *sim.Context) {},
+		onTimer: func(tag int) { fired <- tag },
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// Wedge shard 0: first message parks the worker inside Receive...
+	if err := tr.Send(transport.Message{From: 0, To: 0, Query: DefaultQuery, Payload: 0}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler never entered")
+	}
+	// ...then timer-loop-style dispatches overfill its queue (cap 2) and
+	// spill onto the overflow list. dispatch must return without blocking —
+	// the test would hang here if it didn't.
+	const parked = 10
+	for seq := 1; seq <= parked; seq++ {
+		rt.dispatch(0, item{kind: itemMsg, qs: rt.def, msg: transport.Message{
+			From: 0, To: 0, Query: DefaultQuery, Payload: seq,
+		}})
+	}
+	if d := rt.shards[rt.shardOf[0]].depth(); d < parked-2 {
+		t.Fatalf("congested shard depth %d, want ≥ %d (overflow never engaged)", d, parked-2)
+	}
+
+	// The other shard's timer must fire while shard 0 is wedged.
+	rt.scheduleEntry(&timerEntry{when: time.Now().Add(hop), kind: tkTimer, h: 1, qs: rt.def, tag: 7})
+	select {
+	case tag := <-fired:
+		if tag != 7 {
+			t.Fatalf("timer fired with tag %d, want 7", tag)
+		}
+	case <-time.After(10 * hop):
+		t.Fatal("timer on the idle shard never fired: the timer loop blocked on the congested shard")
+	}
+
+	// Release the wedge: queued and parked items must drain in FIFO order.
+	close(gate.release)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var seen []int
+		if err := rt.Do(0, func() { seen = append([]int(nil), gate.seen...) }); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) == parked+1 {
+			for i, s := range seen {
+				if s != i {
+					t.Fatalf("drained order %v: overflow items out of FIFO order", seen)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("congested shard drained %d/%d items", len(seen), parked+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionControlCapsLiveQueries fills a runtime to its
+// MaxLiveQueries cap and checks instantiation beyond it is refused on
+// both ingress paths — StartQuery returns ErrQueryRejected, an unknown
+// query's frame never reaches the factory — with the rejection counted
+// on engine_queries_rejected_total and traced in the per-query event
+// ring. No tombstone is created, so capacity freed later readmits the id.
+func TestAdmissionControlCapsLiveQueries(t *testing.T) {
+	g := line(2)
+	tr := transport.NewChannel(2, 0)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(16, 16)
+	rt, err := New(Config{
+		Graph:          g,
+		Transport:      tr,
+		Hop:            time.Millisecond,
+		MaxLiveQueries: 2,
+		Obs:            reg,
+		Trace:          tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var factoryCalls atomic.Int64
+	rt.SetQueryFactory(func(id QueryID) (*QueryInstance, error) {
+		factoryCalls.Add(1)
+		r := &seqRecorder{}
+		return &QueryInstance{Handlers: []sim.Handler{r, r}, Deadline: 1000}, nil
+	})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	for _, id := range []QueryID{1, 2} {
+		if _, err := rt.StartQuery(id); err != nil {
+			t.Fatalf("query %d under the cap rejected: %v", id, err)
+		}
+	}
+	if _, err := rt.StartQuery(3); !errors.Is(err, ErrQueryRejected) {
+		t.Fatalf("StartQuery over the cap returned %v, want ErrQueryRejected", err)
+	}
+
+	// The lazy-instantiation ingress is capped too: a frame for an unknown
+	// query must be refused before the factory, not after.
+	before := factoryCalls.Load()
+	if err := tr.Send(transport.Message{From: 0, To: 1, Query: 4, Chain: 1, Payload: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := factoryCalls.Load(); n != before {
+		t.Fatalf("factory invoked for a frame over the admission cap (%d → %d calls)", before, n)
+	}
+	if _, ok := rt.QueryStats(4); ok {
+		t.Fatal("rejected query 4 left state behind")
+	}
+	if got := rt.met.rejected.Value(); got != 2 {
+		t.Fatalf("engine_queries_rejected_total = %d, want 2", got)
+	}
+	assertTracedRejection := func(id int64) {
+		t.Helper()
+		for _, ev := range tracer.Events(id) {
+			if ev.Kind == obs.EvFrameDrop && ev.Detail == dropRejected {
+				return
+			}
+		}
+		t.Fatalf("query %d has no %q event in its trace ring", id, dropRejected)
+	}
+	assertTracedRejection(3)
+	assertTracedRejection(4)
+}
+
+// TestShardDefaultsClamp pins the shard-count defaulting: zero Shards
+// resolves to at least one worker, and never more workers than local
+// hosts.
+func TestShardDefaultsClamp(t *testing.T) {
+	g := line(3)
+	rt, err := New(Config{Graph: g, Transport: transport.NewChannel(3, 0), Hop: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Shards(); got < 1 || got > 3 {
+		t.Fatalf("default shard count %d for 3 hosts, want 1..3", got)
+	}
+	rt2, err := New(Config{Graph: g, Transport: transport.NewChannel(3, 0), Hop: time.Millisecond, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt2.Shards(); got != 3 {
+		t.Fatalf("shard count %d for 3 hosts with Shards=64, want clamp to 3", got)
+	}
+}

@@ -169,7 +169,7 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 	switch e.kind {
 	case tkTimer:
 		// dispatch, not enqueue: the loop must not block behind one
-		// congested inbox while other hosts' timers are due.
+		// congested shard while other shards' timers are due.
 		rt.met.timersFired.Inc()
 		rt.dispatch(e.h, item{kind: itemTimer, qs: e.qs, tag: e.tag, chain: e.chain})
 	case tkKill:
@@ -180,7 +180,7 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 			rt.trace.Record(int64(e.qs.id), obs.EvChurnLeave, int(e.h), e.qs.tickNow(rt), "")
 		}
 	case tkQueryJoin:
-		// Un-suppress first, then hand the host goroutine a Start item:
+		// Un-suppress first, then hand the host's shard a Start item:
 		// startHost is exactly-once per (query, host), so a rebirth (the
 		// host lived before) reduces to the un-suppression alone, while a
 		// late joiner's handler starts now — the same lazy
@@ -196,7 +196,7 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 		rt.compact(e.qs)
 	case tkFunc:
 		// Own goroutine: the closure may block (StartQuery enqueues into
-		// host inboxes under back-pressure) and the loop must keep firing
+		// shard queues under back-pressure) and the loop must keep firing
 		// other hosts' timers on time.
 		go e.fn()
 	}

@@ -1,0 +1,25 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeHealth registers process-level health gauges on r,
+// sampled at scrape time: the live goroutine count and the heap bytes in
+// use. These are the two numbers that expose a scheduler regression at a
+// glance — a goroutine-per-host engine shows up as process_goroutines
+// tracking the fleet size, a buffer leak as heap growth between scrapes —
+// without attaching a profiler to a running fleet. Safe to call more than
+// once per registry (registration is idempotent) and with r == nil
+// (no-op).
+func RegisterRuntimeHealth(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("process_goroutines", "Live goroutines in this process.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("process_heap_inuse_bytes", "Heap bytes in spans in use (runtime.MemStats.HeapInuse).", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapInuse)
+	})
+}

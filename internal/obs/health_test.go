@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntimeHealth checks the process gauges land on the metrics
+// exposition with sane values: a live process has goroutines and heap in
+// use.
+func TestRegisterRuntimeHealth(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeHealth(r)
+	RegisterRuntimeHealth(r) // idempotent: re-registration must not panic
+	RegisterRuntimeHealth(nil)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, name := range []string{"process_goroutines", "process_heap_inuse_bytes"} {
+		if !strings.Contains(body, name+" ") {
+			t.Fatalf("/metrics missing %s:\n%s", name, body)
+		}
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				if strings.HasSuffix(strings.TrimSpace(line), " 0") {
+					t.Fatalf("%s sampled as zero in a live process: %q", name, line)
+				}
+			}
+		}
+	}
+}

@@ -14,16 +14,38 @@ import (
 // lets the node runtime's tick arithmetic (deadlines, early-deadline
 // guards) stay faithful to the paper's model when no real network is
 // involved.
+//
+// In-flight messages sit on one FIFO delivery queue drained by a single
+// scheduler goroutine, not a goroutine per send: every send shares the
+// same delay, so due times are monotone in send order and the queue head
+// is always the next delivery — no timer heap, and a 2K-host fleet's
+// flood of in-flight messages costs one goroutine plus a queue entry each
+// instead of a goroutine each.
 type Channel struct {
 	n     int
 	delay time.Duration
 
-	mu     sync.Mutex
-	recv   []RecvFunc
-	dead   []bool
-	closed bool
-	quit   chan struct{}
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	recv    []RecvFunc
+	dead    []bool
+	closed  bool
+	pending []delivery
+	// wake nudges the scheduler when a send lands on an empty queue; cap 1
+	// because one pending signal is enough — the scheduler re-examines the
+	// whole queue every pass.
+	wake chan struct{}
+	quit chan struct{}
+	// The scheduler starts lazily on the first send (sync.Once), not in
+	// Open: encode/decode tests legitimately Send on a never-Opened
+	// transport, and an idle transport should cost nothing.
+	startOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// delivery is one in-flight message and the instant it becomes due.
+type delivery struct {
+	due time.Time
+	msg Message
 }
 
 // NewChannel returns an in-process transport for hosts 0..n-1 where each
@@ -34,6 +56,7 @@ func NewChannel(n int, delay time.Duration) *Channel {
 		delay: delay,
 		recv:  make([]RecvFunc, n),
 		dead:  make([]bool, n),
+		wake:  make(chan struct{}, 1),
 		quit:  make(chan struct{}),
 	}
 }
@@ -69,31 +92,68 @@ func (c *Channel) Send(msg Message) error {
 		c.mu.Unlock()
 		return fmt.Errorf("transport: destination %d outside [0,%d)", msg.To, c.n)
 	}
-	c.wg.Add(1)
+	c.pending = append(c.pending, delivery{due: time.Now().Add(c.delay), msg: msg})
 	c.mu.Unlock()
+	c.startOnce.Do(func() {
+		c.wg.Add(1)
+		go c.schedule()
+	})
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
 
-	go func() {
-		defer c.wg.Done()
-		if c.delay > 0 {
-			timer := time.NewTimer(c.delay)
-			defer timer.Stop()
+// schedule is the delivery scheduler: it sleeps until the queue head is
+// due, then delivers it. Due times are monotone in send order (all sends
+// share one delay and enqueue under c.mu), so plain FIFO order is also
+// earliest-deadline order. Liveness is re-checked at delivery time, so a
+// Kill with messages in flight still drops them.
+func (c *Channel) schedule() {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if len(c.pending) == 0 {
+			c.pending = nil // let a drained burst's backing array go
+			c.mu.Unlock()
 			select {
-			case <-timer.C:
+			case <-c.wake:
+				continue
 			case <-c.quit:
 				return
 			}
 		}
-		c.mu.Lock()
-		fn := c.recv[msg.To]
-		if c.dead[msg.To] || c.closed {
+		d := c.pending[0]
+		if wait := time.Until(d.due); wait > 0 {
+			c.mu.Unlock()
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+				continue
+			case <-c.quit:
+				timer.Stop()
+				return
+			}
+		}
+		c.pending = c.pending[1:]
+		fn := c.recv[d.msg.To]
+		if c.dead[d.msg.To] {
 			fn = nil
 		}
 		c.mu.Unlock()
 		if fn != nil {
-			fn(msg)
+			fn(d.msg)
 		}
-	}()
-	return nil
+	}
 }
 
 // Kill implements Transport.

@@ -15,14 +15,18 @@
 # stream can keep its queries/sec while individual queries stall behind
 # the concurrency window. bytes_per_query also gates upward (threshold
 # BENCHDIFF_PCT) — it is deterministic wire-format accounting, so growth
-# means the framing actually got fatter. Timing noise on loaded machines
-# is real — treat a red timing result as "rerun and look", not as proof
-# by itself.
+# means the framing actually got fatter. The scale regime's footprint
+# keys (scale_peak_goroutines, scale_heap_inuse_bytes) gate upward too
+# (threshold BENCHDIFF_FOOT_PCT, default 50%): a regression back to
+# per-host goroutines or per-host buffers multiplies them, which no
+# sampling noise explains. Timing noise on loaded machines is real —
+# treat a red timing result as "rerun and look", not as proof by itself.
 set -e
 
 cd "$(dirname "$0")/.."
 THRESHOLD=${BENCHDIFF_PCT:-20}
 LAT_THRESHOLD=${BENCHDIFF_LAT_PCT:-25}
+FOOT_THRESHOLD=${BENCHDIFF_FOOT_PCT:-50}
 
 OLD=$1
 NEW=$2
@@ -49,7 +53,7 @@ fi
 
 # The report is flat one-key-per-line JSON; awk extracts "key": number
 # pairs and joins the two files on key.
-awk -v threshold="$THRESHOLD" -v latthreshold="$LAT_THRESHOLD" '
+awk -v threshold="$THRESHOLD" -v latthreshold="$LAT_THRESHOLD" -v footthreshold="$FOOT_THRESHOLD" '
     match($0, /"[a-z0-9_]+": [0-9.]+,?$/) {
         line = substr($0, RSTART, RLENGTH)
         gsub(/[",:]/, "", line)
@@ -62,15 +66,16 @@ awk -v threshold="$THRESHOLD" -v latthreshold="$LAT_THRESHOLD" '
         printf "%-26s %12s %12s %9s\n", "metric", "old", "new", "delta"
         for (k in old) {
             if (!(k in new) || old[k] == 0) continue
-            # Throughput regresses downward; latency and wire bytes
-            # regress upward; everything else in the report is a config
-            # knob.
-            if (k !~ /per_sec/ && k !~ /latency_ms/ && k !~ /bytes_per_query/) continue
+            # Throughput regresses downward; latency, wire bytes, and the
+            # scale footprint regress upward; everything else in the
+            # report is a config knob.
+            if (k !~ /per_sec/ && k !~ /latency_ms/ && k !~ /bytes_per_query/ && k !~ /peak_goroutines/ && k !~ /heap_inuse/) continue
             pct = (new[k] - old[k]) * 100 / old[k]
             flag = ""
             if (k ~ /per_sec/ && pct < -threshold)           { flag = "  << REGRESSION"; fail = 1 }
             if (k ~ /latency_ms/ && pct > latthreshold)      { flag = "  << TAIL REGRESSION"; fail = 1 }
             if (k ~ /bytes_per_query/ && pct > threshold)    { flag = "  << WIRE REGRESSION"; fail = 1 }
+            if ((k ~ /peak_goroutines/ || k ~ /heap_inuse/) && pct > footthreshold) { flag = "  << FOOTPRINT REGRESSION"; fail = 1 }
             printf "%-26s %12.2f %12.2f %+8.1f%%%s\n", k, old[k], new[k], pct, flag
         }
         exit fail
