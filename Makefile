@@ -34,10 +34,13 @@ ci: build vet fmt-check race scale-smoke metrics-smoke fuzz-smoke
 scale-smoke:
 	$(GO) test ./internal/daemon -run '^TestScaleSmoke2K$$' -count=1 -v
 
-# metrics-smoke boots one validityd with -metrics on, scrapes /metrics
-# and /debug/queries mid-run, and asserts the counter families and the
-# query snapshot come back — the observability surface of the built
-# binary, not just the packages.
+# metrics-smoke gates the observability surface of the built binaries,
+# not just the packages: act 1 boots one validityd with -metrics on and
+# scrapes /metrics and /debug/queries mid-run; act 2 boots a
+# three-process TCP fleet with -fleet wired and asserts the typed
+# /debug/snapshot and /debug/trace endpoints, the rolled-up
+# /metrics/fleet exposition, and a validitytop -once status table all
+# answer off the live processes.
 metrics-smoke:
 	./scripts/metrics-smoke.sh
 
@@ -63,15 +66,20 @@ fmt-check:
 # concurrent stream of COUNT/MIN queries under per-query churn, every
 # result judged against the oracle bounds of its own membership timeline;
 # act two streams a continuous §4.2 query (-continuous) over its own
-# fleet, one line per window against that window's own bounds.
+# fleet, one line per window against that window's own bounds. Act one
+# also arms the fleet observability plane: every process exposes
+# -metrics, the issuer carries -fleet, and the demo scrapes
+# /metrics/fleet, prints a merged cross-process slow-query timeline,
+# and renders a validitytop -once snapshot.
 demo: build
 	./scripts/demo-validityd.sh
 
 # bench measures engine throughput at a fixed fleet size — one-shot
 # queries/sec and continuous windows/sec — on a static network, at churn
 # rate R>0 (the paper's regime), and under session churn with rebirth
-# (arrivals as well as departures), and writes BENCH_engine.json so the
-# perf trajectory tracks dynamism.
+# (arrivals as well as departures), plus the per-frame cost of hot-path
+# instrumentation (obs_frame_ns_instrumented / _nil), and writes
+# BENCH_engine.json so the perf trajectory tracks dynamism.
 bench:
 	BENCH_ENGINE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test ./internal/daemon -run TestBenchEngine -count=1 -v
 

@@ -62,20 +62,40 @@
 // Observability: every process carries a metrics registry and a per-query
 // event tracer; -metrics ADDR exposes them over HTTP — Prometheus text
 // exposition on /metrics (engine demux/drop counters, §6.3 sends and
-// bytes, per-peer transport traffic, query latency histograms), a JSON
-// snapshot of live and retired queries on /debug/queries, and the
-// standard pprof handlers under /debug/pprof/. Port 0 picks a free port;
-// the bound address is logged. Machine-parsed result lines stay on
-// stdout; diagnostics go to stderr as leveled slog lines filtered by
-// -log-level (debug | info | warn | error). A query whose issue→answer
-// latency exceeds -slow-query (default 1.5× its 2·D̂δ deadline) dumps its
-// trace ring — issue, first traffic, churn transitions, drops, answer —
-// at warn level:
+// bytes, per-peer transport traffic, query latency histograms,
+// build_info and process uptime), a JSON snapshot of live and retired
+// queries on /debug/queries, typed JSON dumps of the whole registry on
+// /debug/snapshot and of one query's trace ring on /debug/trace?q=ID,
+// and the standard pprof handlers under /debug/pprof/. Port 0 picks a
+// free port; the bound address is logged. Machine-parsed result lines
+// stay on stdout; diagnostics go to stderr as leveled slog lines
+// filtered by -log-level (debug | info | warn | error). A query whose
+// issue→answer latency exceeds -slow-query (default 1.5× its 2·D̂δ
+// deadline) dumps its trace ring — issue, first traffic, churn
+// transitions, drops, answer — at warn level.
+//
+// -fleet "name=host:port,..." names every process's metrics address and
+// arms the cross-process plane on the process that carries it:
+// /metrics/fleet scrapes every peer's /debug/snapshot concurrently
+// (bounded timeout, per-peer failure tolerance — a dead peer becomes
+// fleet_peer_up{proc="..."} 0, never an error) and serves one rolled-up
+// exposition — counters summed across the fleet, gauges per-process
+// under a proc label, histograms bucket-merged so fleet quantiles are
+// real — and slow-query dumps pull every peer's trace ring and print
+// one causally-ordered timeline (query tick, then frame chain depth,
+// then wall time), each event annotated with its origin process.
+// cmd/validitytop renders the same fleet as a live terminal status
+// table (-once for a single snapshot):
 //
 //	validityd -transport chan -hosts 60 -query -queries 8 \
-//	    -metrics 127.0.0.1:7190 -log-level debug
+//	    -metrics 127.0.0.1:7190 -fleet "issuer=127.0.0.1:7190" \
+//	    -log-level debug
 //	curl -s http://127.0.0.1:7190/metrics
+//	curl -s http://127.0.0.1:7190/metrics/fleet
 //	curl -s http://127.0.0.1:7190/debug/queries
+//	curl -s http://127.0.0.1:7190/debug/snapshot
+//	curl -s "http://127.0.0.1:7190/debug/trace?q=1"
+//	validitytop -fleet "issuer=127.0.0.1:7190" -once
 package main
 
 import (

@@ -1,0 +1,149 @@
+// Command validitytop is a live terminal status view of a validityd
+// fleet: it scrapes every process's /debug/snapshot endpoint (the typed
+// twin of /metrics) each refresh interval and renders one table row per
+// process — liveness, goroutines, heap in use, shard-queue backlog, live
+// and rejected queries, §6.3 sends and bytes, dropped frames, uptime —
+// plus a fleet summary line with the bucket-merged query-latency tail
+// (p50/p95/p99 of the real fleet-wide distribution, not an average of
+// per-process quantiles) and drop counts by reason.
+//
+// Point it at the same addresses the fleet's -metrics flags bound:
+//
+//	validitytop -fleet "127.0.0.1:7191,127.0.0.1:7192,127.0.0.1:7193"
+//	validitytop -fleet "issuer=127.0.0.1:7191,w1=127.0.0.1:7192" -interval 1s
+//	validitytop -fleet "$FLEET" -once          # one snapshot, no screen control
+//
+// A peer that is down shows as DOWN in its row and degrades only its own
+// columns; the scrape itself never fails. -once prints a single plain
+// snapshot (no ANSI clearing), the form scripts and smoke tests consume.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"validity/internal/obs/fleet"
+)
+
+func main() {
+	var (
+		fleetSpec = flag.String("fleet", "", "fleet -metrics addresses (host:port or name=host:port, comma-separated)")
+		interval  = flag.Duration("interval", 2*time.Second, "refresh interval")
+		timeout   = flag.Duration("timeout", 0, "per-round scrape timeout (0 = collector default)")
+		once      = flag.Bool("once", false, "print one snapshot and exit (no screen control)")
+	)
+	flag.Parse()
+	if *fleetSpec == "" {
+		fmt.Fprintln(os.Stderr, "validitytop: -fleet is required (the fleet's -metrics addresses)")
+		os.Exit(2)
+	}
+	srcs, err := fleet.ParseSources(*fleetSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validitytop:", err)
+		os.Exit(2)
+	}
+	coll := &fleet.Collector{Sources: srcs, Timeout: *timeout}
+
+	if *once {
+		render(os.Stdout, coll, false)
+		return
+	}
+	for {
+		render(os.Stdout, coll, true)
+		time.Sleep(*interval)
+	}
+}
+
+// render scrapes one round and prints the status view; clear prefixes
+// the ANSI home+erase sequence for the live refresh loop.
+func render(w *os.File, coll *fleet.Collector, clear bool) {
+	peers := coll.Registries(context.Background())
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(&b, "validitytop  %s  peers=%d\n\n", time.Now().Format("15:04:05"), len(peers))
+	fmt.Fprintf(&b, "%-20s %-5s %8s %10s %7s %6s %6s %10s %10s %7s %9s\n",
+		"PROC", "UP", "GOROUT", "HEAP", "SHARDQ", "LIVE", "REJ", "SENT", "BYTES", "DROPS", "UPTIME")
+	for _, p := range peers {
+		if p.Err != nil {
+			fmt.Fprintf(&b, "%-20s %-5s %s\n", clip(p.Proc, 20), "DOWN", p.Err.Error())
+			continue
+		}
+		snap := p.Snap
+		goroutines, _ := fleet.GaugeValue(snap, "process_goroutines")
+		heap, _ := fleet.GaugeValue(snap, "process_heap_inuse_bytes")
+		shardq, _ := fleet.GaugeValue(snap, "node_shard_queue_depth_total")
+		live, _ := fleet.GaugeValue(snap, "node_queries_live")
+		uptime, _ := fleet.GaugeValue(snap, "process_uptime_seconds")
+		var drops int64
+		for _, n := range fleet.CounterByLabel(snap, "node_frames_dropped_total", "reason") {
+			drops += n
+		}
+		fmt.Fprintf(&b, "%-20s %-5s %8d %10s %7d %6d %6d %10d %10s %7d %9s\n",
+			clip(p.Proc, 20), "up",
+			int64(goroutines), sizeStr(heap), int64(shardq), int64(live),
+			fleet.CounterTotal(snap, "engine_queries_rejected_total"),
+			fleet.CounterTotal(snap, "node_messages_sent_total"),
+			sizeStr(float64(fleet.CounterTotal(snap, "node_bytes_sent_total"))),
+			drops,
+			(time.Duration(uptime) * time.Second).String())
+	}
+
+	// Fleet summary: the latency tail off the bucket-merged histogram —
+	// real fleet quantiles — and drop totals by reason across processes.
+	b.WriteByte('\n')
+	if h, ok := fleet.MergeHistograms(peers, "daemon_query_latency_ms"); ok && h.Count > 0 {
+		fmt.Fprintf(&b, "fleet: queries=%d  lat p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	} else {
+		fmt.Fprintln(&b, "fleet: no query latency observations yet")
+	}
+	dropTotals := make(map[string]int64)
+	for _, p := range peers {
+		if p.Err != nil {
+			continue
+		}
+		for reason, n := range fleet.CounterByLabel(p.Snap, "node_frames_dropped_total", "reason") {
+			dropTotals[reason] += n
+		}
+	}
+	if len(dropTotals) > 0 {
+		reasons := make([]string, 0, len(dropTotals))
+		for r := range dropTotals {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		parts := make([]string, 0, len(reasons))
+		for _, r := range reasons {
+			parts = append(parts, fmt.Sprintf("%s=%d", r, dropTotals[r]))
+		}
+		fmt.Fprintf(&b, "drops: %s\n", strings.Join(parts, " "))
+	}
+	w.WriteString(b.String())
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// sizeStr renders a byte count with a binary unit, one decimal.
+func sizeStr(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	}
+	return fmt.Sprintf("%dB", int64(v))
+}

@@ -66,6 +66,7 @@ import (
 	"validity/internal/graph"
 	"validity/internal/node"
 	"validity/internal/obs"
+	"validity/internal/obs/fleet"
 	"validity/internal/oracle"
 	"validity/internal/protocol"
 	"validity/internal/sim"
@@ -173,10 +174,20 @@ type Config struct {
 	RunFor time.Duration
 
 	// Metrics, when non-empty, serves the observability endpoints on this
-	// address: Prometheus text exposition on /metrics, a JSON snapshot of
-	// live and retired queries on /debug/queries, and net/http/pprof under
+	// address: Prometheus text exposition on /metrics, typed JSON snapshots
+	// on /debug/snapshot and /debug/trace, a JSON snapshot of live and
+	// retired queries on /debug/queries, and net/http/pprof under
 	// /debug/pprof/. Port 0 picks a free port; the bound address is logged.
 	Metrics string
+	// Fleet lists the whole fleet's -metrics addresses — comma-separated
+	// "host:port" or "name=host:port" entries, so a -peers-style map with
+	// ports swapped pastes straight in. It arms the cross-process half of
+	// the observability plane: /metrics/fleet serves the fleet-rolled-up
+	// exposition (counters summed, histograms bucket-merged so fleet
+	// quantiles are real), and a slow query's dump merges the trace rings
+	// of every listed process into one causally-ordered timeline. A peer
+	// that is down degrades that peer's contribution, never the scrape.
+	Fleet string
 	// LogLevel filters the diagnostic log on stderr: debug | info | warn |
 	// error ("" = info). Result lines on stdout are unaffected.
 	LogLevel string
@@ -227,7 +238,8 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.IntVar(&cfg.MaxLiveQueries, "max-live-queries", 0, "admission cap on queries with live state per process (0 = engine default, <0 = unlimited)")
 	fs.DurationVar(&cfg.FlushWindow, "flush-window", 0, "tcp write-coalescing linger per peer (0 = flush immediately; must be < hop/2)")
 	fs.DurationVar(&cfg.RunFor, "run-for", 0, "serving lifetime of a non-query process (0 = forever)")
-	fs.StringVar(&cfg.Metrics, "metrics", "", "serve /metrics, /debug/queries, and /debug/pprof/ on this address (e.g. 127.0.0.1:7190; port 0 picks one)")
+	fs.StringVar(&cfg.Metrics, "metrics", "", "serve /metrics, /debug/queries, /debug/snapshot, /debug/trace, and /debug/pprof/ on this address (e.g. 127.0.0.1:7190; port 0 picks one)")
+	fs.StringVar(&cfg.Fleet, "fleet", "", "every fleet member's -metrics address (host:port or name=host:port, comma-separated): serves /metrics/fleet and merges slow-query traces across processes")
 	fs.StringVar(&cfg.LogLevel, "log-level", "info", "diagnostic log level on stderr: debug | info | warn | error")
 	fs.DurationVar(&cfg.SlowQuery, "slow-query", 0, "dump a query's trace when issue→answer latency exceeds this (0 = 1.5× the 2·D̂δ deadline)")
 	return cfg
@@ -303,6 +315,12 @@ func validate(cfg *Config) error {
 	}
 	if cfg.Shards < 0 {
 		return fmt.Errorf("daemon: -shards must be ≥ 0, got %d", cfg.Shards)
+	}
+	if cfg.Fleet != "" && cfg.Metrics == "" && !cfg.Query {
+		// The collector feeds /metrics/fleet (needs -metrics) and the
+		// merged slow-query dump (needs -query); with neither it would be
+		// parsed and never used.
+		return fmt.Errorf("daemon: -fleet needs -metrics (to serve /metrics/fleet) or -query (to merge slow-query traces)")
 	}
 	if cfg.Vectors < 1 || cfg.Vectors > 255 {
 		// The canonical wire format carries the repetition count in one
@@ -526,6 +544,17 @@ func Run(cfg *Config) error {
 	if err := validate(cfg); err != nil {
 		return err
 	}
+	// The fleet collector scrapes every listed process's /debug/snapshot
+	// and /debug/trace; nil when -fleet is unset, and every consumer
+	// degrades to the local-only view.
+	var coll *fleet.Collector
+	if cfg.Fleet != "" {
+		srcs, err := fleet.ParseSources(cfg.Fleet)
+		if err != nil {
+			return fmt.Errorf("daemon: -fleet: %w", err)
+		}
+		coll = &fleet.Collector{Sources: srcs}
+	}
 	g, err := buildGraph(cfg)
 	if err != nil {
 		return err
@@ -672,7 +701,7 @@ func Run(cfg *Config) error {
 	}
 	defer rt.Stop()
 	if cfg.Metrics != "" {
-		stop, err := startMetricsServer(cfg.Metrics, rt, reg, logger)
+		stop, err := startMetricsServer(cfg.Metrics, rt, reg, tracer, coll, logger)
 		if err != nil {
 			return fmt.Errorf("daemon: -metrics %s: %w", cfg.Metrics, err)
 		}
@@ -707,7 +736,7 @@ func Run(cfg *Config) error {
 	}
 	fmt.Fprintf(out, "validityd: wildfire over %d hosts, D̂=%d, δ=%v, transport=%s: %d queries, concurrency %d, agg=%s, hq=%s%s\n",
 		n, dHat, cfg.Hop, cfg.Transport, cfg.Queries, cfg.Concurrency, cfg.Agg, cfg.Hq, churnNote)
-	return runQueryStream(cfg, rt, g, values, plan, specFor, out, logger, tracer)
+	return runQueryStream(cfg, rt, g, values, plan, specFor, out, logger, tracer, coll)
 }
 
 // runContinuous drives one continuous query over the running engine: the
@@ -764,7 +793,7 @@ func runContinuous(cfg *Config, rt *node.Runtime, splan *stream.Plan, out io.Wri
 // bounds of its own membership timeline and a closing throughput summary.
 func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int64,
 	plan *churnPlan, specFor func(node.QueryID) protocol.Query, out io.Writer,
-	logger *slog.Logger, tracer *obs.Tracer) error {
+	logger *slog.Logger, tracer *obs.Tracer, coll *fleet.Collector) error {
 
 	// Issue→answer latency feeds the same histogram type the engine's
 	// exposition serves; the bench harness reads its quantiles for the
@@ -826,7 +855,7 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 				tracer.Record(int64(id), obs.EvAnswered, -1, int64(lat/cfg.Hop), "")
 			}
 			if threshold := slowThreshold(cfg, time.Duration(spec.Deadline())*cfg.Hop); lat > threshold {
-				logSlowQuery(logger, tracer, id, lat, threshold)
+				logSlowQuery(logger, tracer, coll, id, lat, threshold)
 			}
 			// Each query is judged against its own H_C/H_U: the oracle is
 			// handed the query's own schedule on the query's own clock.

@@ -2,9 +2,11 @@ package daemon
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"validity/internal/obs"
+	"validity/internal/obs/fleet"
 )
 
 // syncBuffer is an io.Writer safe to read while Run writes to it from
@@ -212,6 +215,197 @@ func TestMetricsEndpointTCPFleet(t *testing.T) {
 	}
 	if framesOut > regMsgs {
 		t.Fatalf("transport wrote %d frames but the engine only sent %d messages", framesOut, regMsgs)
+	}
+}
+
+// TestFleetObservabilityTCP is the fleet-plane acceptance run: a
+// three-process TCP fleet with per-process -metrics endpoints, churn on
+// both workers, and a threshold that makes every query slow. It checks
+// the three cross-process claims end to end: (1) the slow-query dump is
+// one merged timeline carrying events from all three processes (with a
+// listed-but-down peer warned about, not fatal); (2) the issuer's
+// /metrics/fleet endpoint serves the rolled-up exposition mid-run; (3)
+// after the fleet quiesces, the merged counters equal the sum of the
+// three per-process registries and the merged latency histogram holds
+// exactly one observation per issued query.
+func TestFleetObservabilityTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and sleeps out wall-clock query deadlines")
+	}
+	addrs := freeAddrs(t, 6)
+	ports, maddrs := addrs[:3], addrs[3:]
+	peers := fmt.Sprintf("0-19=%s,20-39=%s,40-59=%s", ports[0], ports[1], ports[2])
+	// The fourth entry is deliberately dead: the collector must degrade
+	// that peer's contribution, never the scrape.
+	fleetSpec := fmt.Sprintf("issuer=%s,w1=%s,w2=%s,dead=127.0.0.1:1",
+		maddrs[0], maddrs[1], maddrs[2])
+	common := []string{
+		"-transport", "tcp",
+		"-topology", "random", "-hosts", "60", "-seed", "23",
+		"-peers", peers,
+		"-agg", "count",
+		"-hq", "0",
+		"-dhat", "12",
+		"-hop", testHop.String(),
+		// One churn event on each worker's host range, so both workers
+		// record churn-leave events for every query's timeline.
+		"-kill", "25@2,45@3",
+	}
+	for i, serve := range []string{"20-39", "40-59"} {
+		args := append(append([]string{}, common...),
+			"-serve", serve, "-run-for", "60s", "-metrics", maddrs[i+1])
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "VALIDITYD_CHILD_ARGS="+joinArgs(args))
+		var childOut bytes.Buffer
+		cmd.Stdout = &childOut
+		cmd.Stderr = &childOut
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+			if t.Failed() {
+				t.Logf("worker %s output:\n%s", serve, childOut.String())
+			}
+		})
+	}
+	waitListening(t, ports[1])
+	waitListening(t, ports[2])
+	waitListening(t, maddrs[1])
+	waitListening(t, maddrs[2])
+
+	var out bytes.Buffer
+	log := &syncBuffer{}
+	const queries = 4
+	args := append(append([]string{}, common...),
+		"-serve", "0-19", "-query",
+		"-queries", strconv.Itoa(queries), "-concurrency", "2",
+		"-metrics", maddrs[0],
+		"-fleet", fleetSpec,
+		"-slow-query", "1ns") // every query dumps its merged trace
+	cfg, err := ParseArgs("validityd", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Out = &out
+	cfg.LogOut = log
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- Run(cfg) }()
+	waitListening(t, maddrs[0])
+
+	// Mid-run: the daemon's own /metrics/fleet must serve the rolled-up
+	// exposition while queries are in flight. The server closes when Run
+	// returns, so a refused connection just ends the polling.
+	fleetScrapes := 0
+	for finished := false; !finished; {
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("query process failed: %v\noutput:\n%s\nlog:\n%s", err, out.String(), log.String())
+			}
+			finished = true
+		default:
+		}
+		if resp, err := http.Get("http://" + maddrs[0] + "/metrics/fleet"); err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				s := string(body)
+				if !strings.Contains(s, "fleet_peer_up{") || !strings.Contains(s, "fleet_peers 4") {
+					t.Fatalf("mid-run /metrics/fleet missing fleet meta-series:\n%s", s)
+				}
+				if !strings.Contains(s, `fleet_peer_up{proc="dead"} 0`) {
+					t.Fatalf("mid-run /metrics/fleet does not report the dead peer down:\n%s", s)
+				}
+				fleetScrapes++
+			}
+		}
+		if !finished {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if fleetScrapes == 0 {
+		t.Fatal("query stream finished before a single /metrics/fleet scrape")
+	}
+
+	// (1) Merged slow-query timeline: events from all three processes in
+	// one dump, the dead peer warned about individually.
+	got := log.String()
+	for _, want := range []string{
+		`msg="slow query trace" query=1 proc=issuer`,
+		`msg="slow query trace" query=1 proc=w1`,
+		`msg="slow query trace" query=1 proc=w2`,
+		"event=churn-leave",
+		`msg="slow query trace scrape failed"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("merged slow-query dump missing %q in log:\n%s", want, got)
+		}
+	}
+
+	// (3) Reconcile the fleet rollup. Run closed the issuer's metrics
+	// server, so re-serve its (injected) registry on the same address and
+	// scrape all three processes with the collector until two consecutive
+	// rounds agree — the workers' trailing refloods have quiesced — then
+	// the merged counter must equal the sum of the per-process registries.
+	ln, err := net.Listen("tcp", maddrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/snapshot", obs.SnapshotHandler(reg))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	srcs, err := fleet.ParseSources(fleetSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := &fleet.Collector{Sources: srcs}
+	var peersSnap []fleet.PeerRegistry
+	var sum int64
+	prev := int64(-1)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		peersSnap = coll.Registries(context.Background())
+		sum = 0
+		live := 0
+		for _, p := range peersSnap {
+			if p.Err == nil {
+				live++
+				sum += fleet.CounterTotal(p.Snap, "node_messages_sent_total")
+			}
+		}
+		if live == 3 && sum > 0 && sum == prev {
+			break
+		}
+		prev = sum
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never quiesced: live=%d sent=%d", live, sum)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	var b strings.Builder
+	if _, err := fleet.WriteExposition(&b, peersSnap); err != nil {
+		t.Fatal(err)
+	}
+	merged := b.String()
+	if want := fmt.Sprintf("node_messages_sent_total %d\n", sum); !strings.Contains(merged, want) {
+		t.Fatalf("merged exposition does not carry the per-process sum %d:\n%s", sum, merged)
+	}
+	if !strings.Contains(merged, `fleet_peer_up{proc="dead"} 0`) ||
+		!strings.Contains(merged, `fleet_peer_up{proc="w1"} 1`) {
+		t.Fatalf("merged exposition liveness wrong:\n%s", merged)
+	}
+	h, ok := fleet.MergeHistograms(peersSnap, "daemon_query_latency_ms")
+	if !ok || h.Count != queries {
+		t.Fatalf("merged latency histogram count = %d (ok=%v), want one observation per query (%d)",
+			h.Count, ok, queries)
 	}
 }
 

@@ -133,12 +133,14 @@ func (qs *queryState) tickNow(rt *Runtime) int64 {
 }
 
 // traceDrop records one dropped frame for qs in the trace ring; the
-// matching counter is bumped at the call site.
-func (rt *Runtime) traceDrop(qs *queryState, h graph.HostID, reason string) {
+// matching counter is bumped at the call site. chain is the frame's
+// causal depth (0 when no frame is in hand), the tiebreaker the fleet
+// merger uses to order same-tick events across processes.
+func (rt *Runtime) traceDrop(qs *queryState, h graph.HostID, chain int, reason string) {
 	if rt.trace == nil {
 		return
 	}
-	rt.trace.Record(int64(qs.id), obs.EvFrameDrop, int(h), qs.tickNow(rt), reason)
+	rt.trace.RecordChain(int64(qs.id), obs.EvFrameDrop, int(h), qs.tickNow(rt), chain, reason)
 }
 
 // QuerySnapshot is one live query's state for /debug/queries: the §6.3

@@ -488,7 +488,7 @@ func (b *queryBackend) Send(from, to graph.HostID, payload any, chain int) {
 	if err != nil {
 		qs.dropped.Add(1)
 		rt.met.dropSendErr.Inc()
-		rt.traceDrop(qs, from, dropSendErr)
+		rt.traceDrop(qs, from, chain, dropSendErr)
 	}
 }
 

@@ -134,7 +134,7 @@ func (rt *Runtime) compact(qs *queryState) {
 // exists.
 func (rt *Runtime) dropRetired(qs *queryState) {
 	rt.met.dropRetired.Inc()
-	rt.traceDrop(qs, -1, dropRetired)
+	rt.traceDrop(qs, -1, 0, dropRetired)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if e := rt.queries[qs.id]; e != nil && e.qs == qs {

@@ -604,7 +604,7 @@ func (rt *Runtime) runItem(it item) {
 		if it.kind == itemMsg {
 			qs.dropped.Add(1)
 			rt.met.dropHostDead.Inc()
-			rt.traceDrop(qs, h, dropHostDead)
+			rt.traceDrop(qs, h, it.msg.Chain, dropHostDead)
 		}
 		return
 	}
@@ -623,7 +623,7 @@ func (rt *Runtime) runItem(it item) {
 		if it.kind == itemMsg {
 			qs.dropped.Add(1)
 			rt.met.dropQueryDead.Inc()
-			rt.traceDrop(qs, h, dropQueryDead)
+			rt.traceDrop(qs, h, it.msg.Chain, dropQueryDead)
 		}
 		return
 	}

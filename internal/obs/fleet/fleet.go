@@ -1,0 +1,382 @@
+// Package fleet is the cross-process half of the observability plane:
+// a collector that scrapes every fleet member's /debug/snapshot and
+// /debug/trace endpoints concurrently and merges the results into one
+// fleet-wide view.
+//
+// Two merges matter and both are easy to get wrong:
+//
+//   - Histograms merge by bucket, not by quantile. Summing per-process
+//     bucket counts and reading the quantile off the merged buckets
+//     (obs.BucketQuantile) yields a real fleet-wide p99; averaging
+//     per-process p99s does not.
+//   - Traces merge causally. Per-process query clocks arm at first
+//     traffic, so two processes can stamp causally-ordered events with
+//     the same tick; the wire frame's chain depth breaks those ties,
+//     wall clocks break the rest.
+//
+// The collector tolerates partial failure: a peer that is down or slow
+// contributes an Err entry instead of failing the scrape, and the
+// merged exposition reports per-peer liveness as fleet_peer_up.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"validity/internal/obs"
+)
+
+// DefaultTimeout bounds one whole scrape round: a peer that cannot
+// answer a local-network GET in this window is reported down.
+const DefaultTimeout = 2 * time.Second
+
+// Source is one fleet member's metrics endpoint. Proc is the label the
+// merged views carry for this process — the host-range from a
+// "range=addr" spec, or the address itself.
+type Source struct {
+	Proc string
+	Addr string
+}
+
+// Collector scrapes a fixed set of fleet members.
+type Collector struct {
+	Sources []Source
+	Timeout time.Duration // per scrape round; DefaultTimeout when zero
+	Client  *http.Client  // http.DefaultClient when nil
+}
+
+// New returns a collector over bare addresses (Proc = Addr).
+func New(addrs []string) *Collector {
+	c := &Collector{}
+	for _, a := range addrs {
+		c.Sources = append(c.Sources, Source{Proc: a, Addr: a})
+	}
+	return c
+}
+
+// ParseSources parses a -fleet spec: comma-separated entries, each a
+// bare "host:port" or a "name=host:port" pair (so a -peers-style
+// host-range map pastes straight in, the ranges becoming process
+// labels). Duplicate addresses collapse, first entry wins.
+func ParseSources(spec string) ([]Source, error) {
+	var out []Source
+	seen := make(map[string]bool)
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		src := Source{Proc: ent, Addr: ent}
+		if i := strings.IndexByte(ent, '='); i >= 0 {
+			src.Proc, src.Addr = ent[:i], ent[i+1:]
+			if src.Proc == "" || src.Addr == "" {
+				return nil, fmt.Errorf("fleet: malformed entry %q", ent)
+			}
+		}
+		if !strings.Contains(src.Addr, ":") {
+			return nil, fmt.Errorf("fleet: entry %q: address needs host:port", ent)
+		}
+		if seen[src.Addr] {
+			continue
+		}
+		seen[src.Addr] = true
+		out = append(out, src)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fleet: empty source list")
+	}
+	return out, nil
+}
+
+// PeerRegistry is one peer's snapshot scrape result: either Snap or Err.
+type PeerRegistry struct {
+	Proc string
+	Addr string
+	Err  error
+	Snap obs.RegistrySnapshot
+}
+
+// PeerTrace is one peer's trace scrape result for a single query.
+type PeerTrace struct {
+	Proc   string
+	Addr   string
+	Err    error
+	Events []obs.Event
+}
+
+// timeout returns the collector's effective round timeout.
+func (c *Collector) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+// get fetches path from addr and decodes the JSON body into out.
+func (c *Collector) get(ctx context.Context, addr, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return err
+	}
+	client := c.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s%s: %s", addr, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Registries scrapes every source's /debug/snapshot concurrently. The
+// returned slice is parallel to Sources; a failed peer carries Err and
+// an empty snapshot — one dead peer never fails the round.
+func (c *Collector) Registries(ctx context.Context) []PeerRegistry {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	out := make([]PeerRegistry, len(c.Sources))
+	var wg sync.WaitGroup
+	for i, src := range c.Sources {
+		out[i] = PeerRegistry{Proc: src.Proc, Addr: src.Addr}
+		wg.Add(1)
+		go func(i int, src Source) {
+			defer wg.Done()
+			out[i].Err = c.get(ctx, src.Addr, "/debug/snapshot", &out[i].Snap)
+		}(i, src)
+	}
+	wg.Wait()
+	return out
+}
+
+// QueryTrace scrapes every source's event ring for query q. A peer that
+// never carried the query answers with an empty event list, which is a
+// normal result on a sharded fleet, not an error.
+func (c *Collector) QueryTrace(ctx context.Context, q int64) []PeerTrace {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	out := make([]PeerTrace, len(c.Sources))
+	var wg sync.WaitGroup
+	for i, src := range c.Sources {
+		out[i] = PeerTrace{Proc: src.Proc, Addr: src.Addr}
+		wg.Add(1)
+		go func(i int, src Source) {
+			defer wg.Done()
+			var qt obs.QueryTrace
+			err := c.get(ctx, src.Addr, "/debug/trace?q="+url.QueryEscape(fmt.Sprint(q)), &qt)
+			if err != nil {
+				out[i].Err = err
+				return
+			}
+			out[i].Events = qt.Events
+		}(i, src)
+	}
+	wg.Wait()
+	return out
+}
+
+// Event is one merged-timeline entry: a peer's trace event annotated
+// with the process it came from.
+type Event struct {
+	Proc string
+	obs.Event
+}
+
+// MergeTraces folds per-peer event lists into one causally-ordered
+// timeline: events sort by query tick first (the per-query clocks the
+// processes stamp), then by the wire frame's chain depth (causal order
+// within a tick — the clocks arm independently, so ticks alone can
+// tie), then wall time, then process name for full determinism.
+func MergeTraces(peers []PeerTrace) []Event {
+	var out []Event
+	for _, p := range peers {
+		for _, ev := range p.Events {
+			out = append(out, Event{Proc: p.Proc, Event: ev})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		if a.Chain != b.Chain {
+			return a.Chain < b.Chain
+		}
+		if !a.Wall.Equal(b.Wall) {
+			return a.Wall.Before(b.Wall)
+		}
+		return a.Proc < b.Proc
+	})
+	return out
+}
+
+// labelPairs renders a snapshot's label map back to sorted "key=value"
+// pairs, the registration form.
+func labelPairs(labels map[string]string, extra ...string) []string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys)+len(extra))
+	for _, k := range keys {
+		out = append(out, k+"="+labels[k])
+	}
+	return append(out, extra...)
+}
+
+// seriesKey identifies one series across peers: name plus sorted labels.
+func seriesKey(name string, labels map[string]string) string {
+	return name + "\x00" + strings.Join(labelPairs(labels), "\x00")
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteExposition renders the fleet-rolled-up Prometheus exposition of
+// a scrape round: counters sum across processes, gauges stay per
+// process under a proc label (summing heap sizes or queue depths would
+// hide the outlier that matters), and histograms merge by bucket so the
+// rendered quantile buckets are real fleet-wide distributions. Two
+// meta-series report the round itself: fleet_peers (sources scraped)
+// and fleet_peer_up{proc=...} (1 scraped, 0 down). Peers whose
+// histogram bucket layout disagrees with the first peer's fall back to
+// per-process series under a proc label rather than merging wrong.
+func WriteExposition(w io.Writer, peers []PeerRegistry) (int64, error) {
+	reg := obs.NewRegistry()
+	reg.Gauge("fleet_peers", "Fleet members this scrape round addressed.").Set(int64(len(peers)))
+	merged := make(map[string]*obs.Histogram) // seriesKey -> merged histogram
+	bounds := make(map[string][]float64)      // seriesKey -> canonical bounds
+	for _, p := range peers {
+		up := int64(0)
+		if p.Err == nil {
+			up = 1
+		}
+		reg.Gauge("fleet_peer_up", "Whether the peer answered this scrape round.", "proc="+p.Proc).Set(up)
+		if p.Err != nil {
+			continue
+		}
+		for _, cs := range p.Snap.Counters {
+			reg.Counter(cs.Name, cs.Help, labelPairs(cs.Labels)...).Add(cs.Value)
+		}
+		for _, gs := range p.Snap.Gauges {
+			v := gs.Value
+			reg.GaugeFunc(gs.Name, gs.Help, func() float64 { return v },
+				labelPairs(gs.Labels, "proc="+p.Proc)...)
+		}
+		for _, hs := range p.Snap.Histograms {
+			key := seriesKey(hs.Name, hs.Labels)
+			h, ok := merged[key]
+			if !ok {
+				h = reg.Histogram(hs.Name, hs.Help, hs.Bounds, labelPairs(hs.Labels)...)
+				merged[key] = h
+				bounds[key] = hs.Bounds
+			}
+			if boundsEqual(bounds[key], hs.Bounds) {
+				if err := h.AddBuckets(hs.Counts, hs.Sum); err == nil {
+					continue
+				}
+			}
+			// Bucket layouts disagree: keep this peer's series apart
+			// rather than folding incompatible buckets together.
+			ph := reg.Histogram(hs.Name, hs.Help, hs.Bounds, labelPairs(hs.Labels, "proc="+p.Proc)...)
+			_ = ph.AddBuckets(hs.Counts, hs.Sum)
+		}
+	}
+	return reg.WriteTo(w)
+}
+
+// CounterTotal sums every series of name in one snapshot.
+func CounterTotal(snap obs.RegistrySnapshot, name string) int64 {
+	var total int64
+	for _, cs := range snap.Counters {
+		if cs.Name == name {
+			total += cs.Value
+		}
+	}
+	return total
+}
+
+// CounterByLabel returns name's per-series values keyed by the value of
+// one label (series missing the label key are skipped).
+func CounterByLabel(snap obs.RegistrySnapshot, name, key string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, cs := range snap.Counters {
+		if cs.Name != name {
+			continue
+		}
+		if v, ok := cs.Labels[key]; ok {
+			out[v] += cs.Value
+		}
+	}
+	return out
+}
+
+// GaugeValue returns the first gauge series of name in one snapshot.
+func GaugeValue(snap obs.RegistrySnapshot, name string) (float64, bool) {
+	for _, gs := range snap.Gauges {
+		if gs.Name == name {
+			return gs.Value, true
+		}
+	}
+	return 0, false
+}
+
+// MergeHistograms folds every live peer's histograms of name (all label
+// sets) into one bucket-merged snapshot; its Quantile method then reads
+// real fleet-wide quantiles. Peers whose bucket layout disagrees with
+// the first seen are skipped. ok is false when no live peer carries the
+// series.
+func MergeHistograms(peers []PeerRegistry, name string) (obs.HistogramSnap, bool) {
+	var out obs.HistogramSnap
+	found := false
+	for _, p := range peers {
+		if p.Err != nil {
+			continue
+		}
+		for _, hs := range p.Snap.Histograms {
+			if hs.Name != name {
+				continue
+			}
+			if !found {
+				out = obs.HistogramSnap{
+					Name:   hs.Name,
+					Help:   hs.Help,
+					Bounds: append([]float64(nil), hs.Bounds...),
+					Counts: make([]int64, len(hs.Counts)),
+				}
+				found = true
+			}
+			if !boundsEqual(out.Bounds, hs.Bounds) || len(hs.Counts) != len(out.Counts) {
+				continue
+			}
+			for i, n := range hs.Counts {
+				out.Counts[i] += n
+			}
+			out.Count += hs.Count
+			out.Sum += hs.Sum
+		}
+	}
+	return out, found
+}

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"validity/internal/obs"
+)
+
+// peerServer serves one synthetic process's /debug/snapshot and
+// /debug/trace endpoints off a real registry and tracer.
+func peerServer(t *testing.T, reg *obs.Registry, tr *obs.Tracer) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/snapshot", obs.SnapshotHandler(reg))
+	mux.Handle("/debug/trace", obs.TraceHandler(tr))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func addrOf(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// TestFleetRollup scrapes two live peers and one down peer and checks
+// the merged exposition: counters summed across processes, gauges kept
+// apart under proc labels, histograms bucket-merged, and per-peer
+// liveness reported — one dead peer degrades its contribution, not the
+// round.
+func TestFleetRollup(t *testing.T) {
+	bounds := []float64{10, 100, 1000}
+	regA := obs.NewRegistry()
+	regA.Counter("node_messages_sent_total", "sent").Add(30)
+	regA.Counter("node_frames_dropped_total", "drops", "reason=host-dead").Add(2)
+	regA.Gauge("node_queries_live", "live").Set(3)
+	ha := regA.Histogram("daemon_query_latency_ms", "lat", bounds)
+	ha.Observe(5)
+	ha.Observe(50)
+
+	regB := obs.NewRegistry()
+	regB.Counter("node_messages_sent_total", "sent").Add(12)
+	regB.Counter("node_frames_dropped_total", "drops", "reason=retired").Add(1)
+	regB.Gauge("node_queries_live", "live").Set(1)
+	hb := regB.Histogram("daemon_query_latency_ms", "lat", bounds)
+	hb.Observe(500)
+
+	srvA := peerServer(t, regA, nil)
+	srvB := peerServer(t, regB, nil)
+	coll := &Collector{
+		Sources: []Source{
+			{Proc: "a", Addr: addrOf(srvA)},
+			{Proc: "b", Addr: addrOf(srvB)},
+			{Proc: "dead", Addr: "127.0.0.1:1"}, // nothing listens on port 1
+		},
+		Timeout: 5 * time.Second,
+	}
+	peers := coll.Registries(context.Background())
+	if len(peers) != 3 {
+		t.Fatalf("got %d peer results", len(peers))
+	}
+	if peers[0].Err != nil || peers[1].Err != nil {
+		t.Fatalf("live peers errored: %v / %v", peers[0].Err, peers[1].Err)
+	}
+	if peers[2].Err == nil {
+		t.Fatal("dead peer must carry an error")
+	}
+
+	var b strings.Builder
+	if _, err := WriteExposition(&b, peers); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"node_messages_sent_total 42\n",                   // 30 + 12, summed
+		`node_frames_dropped_total{reason="host-dead"} 2`, // label sets stay distinct
+		`node_frames_dropped_total{reason="retired"} 1`,   //
+		`node_queries_live{proc="a"} 3`,                   // gauges per process
+		`node_queries_live{proc="b"} 1`,                   //
+		"fleet_peers 3\n",                                 //
+		`fleet_peer_up{proc="a"} 1`,                       //
+		`fleet_peer_up{proc="dead"} 0`,                    //
+		"daemon_query_latency_ms_count 3\n",               // bucket-merged, one series
+		`daemon_query_latency_ms_bucket{le="+Inf"} 3`,     //
+		`daemon_query_latency_ms_bucket{le="10"} 1`,       //
+		`daemon_query_latency_ms_bucket{le="1000"} 3`,     //
+		"daemon_query_latency_ms_sum 555\n",               // 5+50+500
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+
+	// MergeHistograms: the merged quantile must equal the quantile of one
+	// histogram holding every peer's observations (same algorithm on the
+	// summed buckets).
+	all := obs.NewRegistry().Histogram("x", "", bounds)
+	for _, v := range []float64{5, 50, 500} {
+		all.Observe(v)
+	}
+	hs, ok := MergeHistograms(peers, "daemon_query_latency_ms")
+	if !ok || hs.Count != 3 {
+		t.Fatalf("MergeHistograms = ok %v count %d", ok, hs.Count)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := hs.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("q%.2f: merged %v != concatenated %v", q, got, want)
+		}
+	}
+
+	// Lookup helpers validitytop leans on.
+	if got := CounterTotal(peers[0].Snap, "node_messages_sent_total"); got != 30 {
+		t.Errorf("CounterTotal = %d, want 30", got)
+	}
+	byReason := CounterByLabel(peers[0].Snap, "node_frames_dropped_total", "reason")
+	if byReason["host-dead"] != 2 {
+		t.Errorf("CounterByLabel = %v", byReason)
+	}
+	if v, ok := GaugeValue(peers[1].Snap, "node_queries_live"); !ok || v != 1 {
+		t.Errorf("GaugeValue = %v, %v", v, ok)
+	}
+}
+
+// TestFleetQueryTraceMerge scrapes two peers' rings for one query and
+// checks the merged timeline's causal order: tick first, chain depth
+// within a tick, wall time last — and that each event keeps its origin
+// process.
+func TestFleetQueryTraceMerge(t *testing.T) {
+	trA := obs.NewTracer(4, 8)
+	trA.Record(1, obs.EvIssued, -1, 0, "")
+	trA.RecordChain(1, obs.EvFrameDrop, 3, 2, 4, "host-dead")
+
+	trB := obs.NewTracer(4, 8)
+	trB.Record(1, obs.EvFirstTraffic, 20, 0, "")
+	trB.RecordChain(1, obs.EvFrameDrop, 21, 2, 1, "query-dead")
+
+	srvA := peerServer(t, nil, trA)
+	srvB := peerServer(t, nil, trB)
+	coll := &Collector{
+		Sources: []Source{
+			{Proc: "issuer", Addr: addrOf(srvA)},
+			{Proc: "worker", Addr: addrOf(srvB)},
+		},
+		Timeout: 5 * time.Second,
+	}
+	peers := coll.QueryTrace(context.Background(), 1)
+	merged := MergeTraces(peers)
+	if len(merged) != 4 {
+		t.Fatalf("merged %d events, want 4", len(merged))
+	}
+	// Tick 0 events first (issued before first-traffic only by wall time —
+	// both recorded chain 0, trA's earlier), then the two tick-2 drops
+	// ordered by chain depth: worker's chain-1 drop precedes issuer's
+	// chain-4 drop even though the issuer recorded first.
+	if merged[2].Proc != "worker" || merged[2].Chain != 1 {
+		t.Fatalf("merged[2] = proc %s chain %d, want worker chain 1", merged[2].Proc, merged[2].Chain)
+	}
+	if merged[3].Proc != "issuer" || merged[3].Chain != 4 {
+		t.Fatalf("merged[3] = proc %s chain %d, want issuer chain 4", merged[3].Proc, merged[3].Chain)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Tick < merged[i-1].Tick {
+			t.Fatalf("ticks out of order at %d: %+v", i, merged)
+		}
+	}
+
+	// A peer that never saw the query answers empty, not an error.
+	trC := obs.NewTracer(4, 8)
+	srvC := peerServer(t, nil, trC)
+	coll.Sources = append(coll.Sources, Source{Proc: "idle", Addr: addrOf(srvC)})
+	peers = coll.QueryTrace(context.Background(), 1)
+	if peers[2].Err != nil || len(peers[2].Events) != 0 {
+		t.Fatalf("idle peer = err %v, %d events", peers[2].Err, len(peers[2].Events))
+	}
+}
+
+// TestParseSources pins the -fleet grammar: bare addresses, name=addr
+// pairs (so a -peers map with ports swapped pastes in), deduplication,
+// and the malformed forms.
+func TestParseSources(t *testing.T) {
+	srcs, err := ParseSources("127.0.0.1:9101, 0-19=127.0.0.1:9102 ,127.0.0.1:9101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 {
+		t.Fatalf("got %d sources, want 2 (dupe dropped): %+v", len(srcs), srcs)
+	}
+	if srcs[0].Proc != "127.0.0.1:9101" || srcs[1].Proc != "0-19" || srcs[1].Addr != "127.0.0.1:9102" {
+		t.Fatalf("sources = %+v", srcs)
+	}
+	for _, bad := range []string{"", "=127.0.0.1:1", "name=", "noport"} {
+		if _, err := ParseSources(bad); err == nil {
+			t.Errorf("ParseSources(%q) accepted", bad)
+		}
+	}
+}

@@ -1,15 +1,42 @@
 package obs
 
-import "runtime"
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart anchors process_uptime_seconds: package init runs once,
+// early, so uptime is measured from (very near) process start no matter
+// when the first registry is built.
+var processStart = time.Now()
+
+// buildRevision digs the VCS revision out of the binary's build info
+// ("unknown" when the binary was built outside a checkout, e.g. go test).
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			return s.Value
+		}
+	}
+	return "unknown"
+}
 
 // RegisterRuntimeHealth registers process-level health gauges on r,
-// sampled at scrape time: the live goroutine count and the heap bytes in
-// use. These are the two numbers that expose a scheduler regression at a
-// glance — a goroutine-per-host engine shows up as process_goroutines
-// tracking the fleet size, a buffer leak as heap growth between scrapes —
-// without attaching a profiler to a running fleet. Safe to call more than
-// once per registry (registration is idempotent) and with r == nil
-// (no-op).
+// sampled at scrape time: the live goroutine count, the heap bytes in
+// use, the process uptime, and a constant build_info series carrying the
+// Go version and VCS revision as labels. Goroutines and heap are the two
+// numbers that expose a scheduler regression at a glance — a
+// goroutine-per-host engine shows up as process_goroutines tracking the
+// fleet size, a buffer leak as heap growth between scrapes — and
+// build_info plus uptime answer the first two questions asked of any
+// misbehaving fleet member: what is it running, and since when. Safe to
+// call more than once per registry (registration is idempotent) and with
+// r == nil (no-op).
 func RegisterRuntimeHealth(r *Registry) {
 	if r == nil {
 		return
@@ -22,4 +49,10 @@ func RegisterRuntimeHealth(r *Registry) {
 		runtime.ReadMemStats(&ms)
 		return float64(ms.HeapInuse)
 	})
+	r.GaugeFunc("process_uptime_seconds", "Seconds since this process started.", func() float64 {
+		return time.Since(processStart).Seconds()
+	})
+	r.GaugeFunc("build_info", "Build metadata carried as labels; the value is always 1.",
+		func() float64 { return 1 },
+		"goversion="+runtime.Version(), "revision="+buildRevision())
 }

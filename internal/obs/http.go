@@ -1,6 +1,10 @@
 package obs
 
-import "net/http"
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
 
 // MetricsHandler serves reg in Prometheus text exposition format. A nil
 // registry serves an empty body, so wiring is unconditional.
@@ -8,5 +12,42 @@ func MetricsHandler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WriteTo(w)
+	})
+}
+
+// SnapshotHandler serves reg as a JSON RegistrySnapshot on /debug/snapshot
+// — the typed dump the fleet collector scrapes instead of re-parsing the
+// text exposition. A nil registry serves an empty snapshot.
+func SnapshotHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+}
+
+// TraceHandler serves tr's event rings on /debug/trace: with ?q=ID, one
+// query's QueryTrace (an empty event list when this process never traced
+// the query — on a sharded fleet that is an answer, not an error);
+// without, the full TraceSnapshot. A malformed q is a 400.
+func TraceHandler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		qparam := r.URL.Query().Get("q")
+		var payload any
+		if qparam == "" {
+			payload = tr.Snapshot()
+		} else {
+			q, err := strconv.ParseInt(qparam, 10, 64)
+			if err != nil {
+				http.Error(w, "bad query id: "+qparam, http.StatusBadRequest)
+				return
+			}
+			payload = tr.QueryTrace(q)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(payload)
 	})
 }

@@ -145,26 +145,43 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return BucketQuantile(h.bounds, counts, q)
+}
+
+// BucketQuantile estimates the q-quantile of pre-bucketed observations:
+// counts[i] observations fell in (bounds[i-1], bounds[i]], with
+// counts[len(bounds)] the implicit +Inf bucket. It is the readout behind
+// Histogram.Quantile, exported so the fleet rollup can take quantiles of
+// bucket-merged histograms — summing per-process bucket counts and reading
+// the quantile here gives a real fleet-wide quantile, where averaging
+// per-process quantiles would not.
+func BucketQuantile(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
 	rank := q * float64(total)
 	var cum int64
 	lower := 0.0
-	for i := range h.counts {
-		n := h.counts[i].Load()
+	for i, n := range counts {
 		if n == 0 {
-			if i < len(h.bounds) {
-				lower = h.bounds[i]
+			if i < len(bounds) {
+				lower = bounds[i]
 			}
 			continue
 		}
 		if float64(cum+n) >= rank {
-			if i == len(h.bounds) {
+			if i == len(bounds) {
 				return lower // +Inf bucket: saturate at the last bound
 			}
-			upper := h.bounds[i]
+			upper := bounds[i]
 			within := (rank - float64(cum)) / float64(n)
 			if within < 0 {
 				within = 0
@@ -172,11 +189,39 @@ func (h *Histogram) Quantile(q float64) float64 {
 			return lower + (upper-lower)*within
 		}
 		cum += n
-		if i < len(h.bounds) {
-			lower = h.bounds[i]
+		if i < len(bounds) {
+			lower = bounds[i]
 		}
 	}
 	return lower
+}
+
+// AddBuckets folds pre-bucketed observations into h: counts must have
+// exactly len(bounds)+1 entries laid out like a Snapshot's Counts (the
+// last is the +Inf bucket), and sum is the total of the folded
+// observations. This is the fleet rollup's merge hook — per-process
+// snapshot counts add into one histogram whose quantiles are then real
+// fleet-wide quantiles. No-op on a nil histogram.
+func (h *Histogram) AddBuckets(counts []int64, sum float64) error {
+	if h == nil {
+		return nil
+	}
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("obs: AddBuckets got %d buckets, histogram has %d", len(counts), len(h.counts))
+	}
+	var total int64
+	for i, n := range counts {
+		h.counts[i].Add(n)
+		total += n
+	}
+	h.count.Add(total)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sum)
+		if h.sum.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
 }
 
 // kind discriminates the registry's metric slots.
@@ -204,8 +249,9 @@ func (k kind) String() string {
 // metricSlot is one registered series: a base name, an optional rendered
 // label set, and the value of one kind.
 type metricSlot struct {
-	name   string // base metric name
-	labels string // rendered `{k="v",...}` or ""
+	name   string   // base metric name
+	labels string   // rendered `{k="v",...}` or ""
+	pairs  []string // the raw "key=value" pairs, for Snapshot
 	help   string
 	kind   kind
 	c      *Counter
@@ -238,17 +284,54 @@ func renderLabels(labels []string) string {
 	}
 	kv := make([]string, 0, len(labels))
 	for _, l := range labels {
-		i := strings.IndexByte(l, '=')
-		k, v := l, ""
-		if i >= 0 {
-			k, v = l[:i], l[i+1:]
-		}
-		v = strings.ReplaceAll(v, `\`, `\\`)
-		v = strings.ReplaceAll(v, `"`, `\"`)
-		kv = append(kv, fmt.Sprintf("%s=%q", k, v))
+		k, v := splitLabel(l)
+		kv = append(kv, k+`="`+escapeLabelValue(v)+`"`)
 	}
 	sort.Strings(kv)
 	return "{" + strings.Join(kv, ",") + "}"
+}
+
+// splitLabel splits one "key=value" pair.
+func splitLabel(l string) (k, v string) {
+	if i := strings.IndexByte(l, '='); i >= 0 {
+		return l[:i], l[i+1:]
+	}
+	return l, ""
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition spec: backslash, double quote, and line feed — exactly those
+// three, in one pass each occurrence. Per-peer address labels and operator
+// strings can carry any of them.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the text-format spec: backslash and
+// line feed only (double quotes are legal in HELP).
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
 }
 
 // slot returns the series for (name, labels), creating it with mk if new.
@@ -264,7 +347,13 @@ func (r *Registry) slot(name, help string, k kind, labels []string, mk func(*met
 		}
 		return s
 	}
-	s := &metricSlot{name: name, labels: renderLabels(labels), help: help, kind: k}
+	s := &metricSlot{
+		name:   name,
+		labels: renderLabels(labels),
+		pairs:  append([]string(nil), labels...),
+		help:   help,
+		kind:   k,
+	}
 	mk(s)
 	r.slots[key] = s
 	return s
@@ -337,7 +426,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		if s.name != lastName {
 			lastName = s.name
 			if s.help != "" {
-				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, s.help)
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, escapeHelp(s.help))
 			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
 		}
@@ -366,7 +455,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 
 // withLabel merges one extra label into an already-rendered label string.
 func withLabel(rendered, k, v string) string {
-	extra := fmt.Sprintf("%s=%q", k, v)
+	extra := k + `="` + escapeLabelValue(v) + `"`
 	if rendered == "" {
 		return "{" + extra + "}"
 	}

@@ -1,0 +1,158 @@
+package obs
+
+import "sort"
+
+// JSON-stable snapshot types: the machine-readable twin of the Prometheus
+// text exposition, served on /debug/snapshot and consumed by the fleet
+// collector (internal/obs/fleet), which needs typed values — counter
+// sums, per-bucket histogram counts — rather than re-parsed text. Field
+// layout is part of the cross-process contract: every fleet process must
+// decode every other's snapshot, so changes here must stay
+// backward-decodable.
+
+// CounterSnap is one counter series at snapshot time.
+type CounterSnap struct {
+	Name   string            `json:"name"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSnap is one gauge series at snapshot time; sampled gauges
+// (GaugeFunc) are evaluated when the snapshot is taken.
+type GaugeSnap struct {
+	Name   string            `json:"name"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSnap is one histogram series: per-bucket counts (not
+// cumulative — Counts[i] observations fell in (Bounds[i-1], Bounds[i]],
+// with Counts[len(Bounds)] the +Inf bucket), so two snapshots merge by
+// plain element-wise addition.
+type HistogramSnap struct {
+	Name   string            `json:"name"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Bounds []float64         `json:"bounds"`
+	Counts []int64           `json:"counts"`
+	Count  int64             `json:"count"`
+	Sum    float64           `json:"sum"`
+}
+
+// Quantile reads the q-quantile off the snapshot's buckets.
+func (h *HistogramSnap) Quantile(q float64) float64 {
+	return BucketQuantile(h.Bounds, h.Counts, q)
+}
+
+// RegistrySnapshot is every registered series of one registry, each list
+// sorted by (name, rendered labels) so output is stable across calls.
+type RegistrySnapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// labelMap converts a slot's raw "key=value" pairs into the snapshot's
+// map form (nil when unlabeled, so it marshals away).
+func labelMap(pairs []string) map[string]string {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		k, v := splitLabel(p)
+		m[k] = v
+	}
+	return m
+}
+
+// Snapshot captures every registered metric with its current value. Like
+// WriteTo it takes per-value atomic loads without stopping writers, so a
+// snapshot under concurrent updates is consistent-enough, not a fence.
+// A nil registry returns an empty snapshot.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var snap RegistrySnapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	slots := make([]*metricSlot, 0, len(r.slots))
+	for _, s := range r.slots {
+		slots = append(slots, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].name != slots[j].name {
+			return slots[i].name < slots[j].name
+		}
+		return slots[i].labels < slots[j].labels
+	})
+	for _, s := range slots {
+		switch s.kind {
+		case kindCounter:
+			snap.Counters = append(snap.Counters, CounterSnap{
+				Name: s.name, Help: s.help, Labels: labelMap(s.pairs), Value: s.c.Value(),
+			})
+		case kindGauge:
+			snap.Gauges = append(snap.Gauges, GaugeSnap{
+				Name: s.name, Help: s.help, Labels: labelMap(s.pairs), Value: float64(s.g.Value()),
+			})
+		case kindGaugeFunc:
+			snap.Gauges = append(snap.Gauges, GaugeSnap{
+				Name: s.name, Help: s.help, Labels: labelMap(s.pairs), Value: s.gf(),
+			})
+		case kindHistogram:
+			counts := make([]int64, len(s.h.counts))
+			for i := range s.h.counts {
+				counts[i] = s.h.counts[i].Load()
+			}
+			snap.Histograms = append(snap.Histograms, HistogramSnap{
+				Name: s.name, Help: s.help, Labels: labelMap(s.pairs),
+				Bounds: append([]float64(nil), s.h.bounds...),
+				Counts: counts,
+				Count:  s.h.Count(),
+				Sum:    s.h.Sum(),
+			})
+		}
+	}
+	return snap
+}
+
+// QueryTrace is one query's recorded event list, the /debug/trace payload
+// the fleet collector merges across processes.
+type QueryTrace struct {
+	Query  int64   `json:"query"`
+	Events []Event `json:"events,omitempty"`
+}
+
+// TraceSnapshot is every tracked query's event list, oldest-tracked query
+// first.
+type TraceSnapshot struct {
+	Queries []QueryTrace `json:"queries,omitempty"`
+}
+
+// QueryTrace returns one query's events as a snapshot payload. A query
+// the tracer never saw (or a nil tracer) returns an empty event list, not
+// an error — on a sharded fleet a peer that never carried the query's
+// traffic is a normal answer, not a failure.
+func (t *Tracer) QueryTrace(q int64) QueryTrace {
+	return QueryTrace{Query: q, Events: t.Events(q)}
+}
+
+// Snapshot captures every tracked query's event ring.
+func (t *Tracer) Snapshot() TraceSnapshot {
+	var snap TraceSnapshot
+	if t == nil {
+		return snap
+	}
+	for _, q := range t.Queries() {
+		qt := t.QueryTrace(q)
+		if len(qt.Events) == 0 {
+			continue // evicted between Queries and Events
+		}
+		snap.Queries = append(snap.Queries, qt)
+	}
+	return snap
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRegistrySnapshot pins the typed dump: every kind present, sorted,
+// labels as maps, histogram counts non-cumulative — and the whole thing
+// JSON round-trips unchanged, which is the cross-process contract the
+// fleet collector depends on.
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "b help", "reason=x").Add(3)
+	reg.Counter("b_total", "b help", "reason=y").Add(4)
+	reg.Gauge("a_gauge", "a help").Set(7)
+	reg.GaugeFunc("f_gauge", "f help", func() float64 { return 2.5 })
+	h := reg.Histogram("c_ms", "c help", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(99)
+
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 2 || len(snap.Gauges) != 2 || len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot shape = %d counters, %d gauges, %d histograms",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	}
+	if c := snap.Counters[0]; c.Name != "b_total" || c.Labels["reason"] != "x" || c.Value != 3 {
+		t.Fatalf("counter[0] = %+v", c)
+	}
+	if g := snap.Gauges[0]; g.Name != "a_gauge" || g.Value != 7 {
+		t.Fatalf("gauge[0] = %+v", g)
+	}
+	if g := snap.Gauges[1]; g.Name != "f_gauge" || g.Value != 2.5 {
+		t.Fatalf("sampled gauge = %+v", g)
+	}
+	hs := snap.Histograms[0]
+	if hs.Count != 3 || hs.Sum != 102.5 {
+		t.Fatalf("histogram count/sum = %d/%v", hs.Count, hs.Sum)
+	}
+	// Non-cumulative buckets: one per (bound…], plus the +Inf bucket.
+	if want := []int64{1, 1, 1}; len(hs.Counts) != 3 ||
+		hs.Counts[0] != want[0] || hs.Counts[1] != want[1] || hs.Counts[2] != want[2] {
+		t.Fatalf("bucket counts = %v, want %v", hs.Counts, want)
+	}
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RegistrySnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Histograms[0].Quantile(0.5) != snap.Histograms[0].Quantile(0.5) {
+		t.Fatal("quantile changed across the JSON round-trip")
+	}
+	if back.Counters[1].Value != 4 || back.Gauges[1].Value != 2.5 {
+		t.Fatal("values changed across the JSON round-trip")
+	}
+
+	var nilReg *Registry
+	if s := nilReg.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+// TestTracerSnapshotChain pins that the chain depth survives recording,
+// coalescing, snapshotting, and the JSON round-trip — it is the
+// tiebreaker the fleet merger sorts same-tick events by.
+func TestTracerSnapshotChain(t *testing.T) {
+	tr := NewTracer(4, 8)
+	tr.Record(7, EvIssued, -1, 0, "")
+	tr.RecordChain(7, EvFrameDrop, 3, 2, 5, "host-dead")
+	tr.RecordChain(7, EvFrameDrop, 3, 2, 6, "host-dead") // coalesces, chain updates
+
+	qt := tr.QueryTrace(7)
+	if qt.Query != 7 || len(qt.Events) != 2 {
+		t.Fatalf("trace = %+v", qt)
+	}
+	drop := qt.Events[1]
+	if drop.Chain != 6 || drop.Count != 2 {
+		t.Fatalf("coalesced drop = chain %d count %d, want chain 6 count 2", drop.Chain, drop.Count)
+	}
+
+	raw, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Queries) != 1 || back.Queries[0].Events[1].Chain != 6 {
+		t.Fatalf("chain lost in round-trip: %+v", back)
+	}
+	if back.Queries[0].Events[0].KindName != "issued" {
+		t.Fatalf("kind name lost: %+v", back.Queries[0].Events[0])
+	}
+
+	// An untracked query is an empty answer, not an error.
+	if qt := tr.QueryTrace(99); qt.Query != 99 || len(qt.Events) != 0 {
+		t.Fatalf("untracked query trace = %+v", qt)
+	}
+}
+
+// TestExpositionEscaping pins the text-format escaping rules: backslash,
+// double quote, and newline in label values; backslash and newline in
+// HELP. The pre-fix renderer escaped label values twice (manual escape
+// then %q), so a value holding one backslash rendered four.
+func TestExpositionEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("e_total", "help with \\ and\nnewline", `path=C:\dir`).Add(1)
+	reg.Counter("e_total", "help with \\ and\nnewline", "msg=say \"hi\"\nbye").Add(2)
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP e_total help with \\ and\nnewline
+# TYPE e_total counter
+e_total{msg="say \"hi\"\nbye"} 2
+e_total{path="C:\\dir"} 1
+`
+	if b.String() != want {
+		t.Fatalf("escaping mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestQuantileEdges pins the readout's edge cases: empty histogram,
+// single observation, and every observation past the last bound.
+func TestQuantileEdges(t *testing.T) {
+	reg := NewRegistry()
+	empty := reg.Histogram("empty_ms", "", []float64{10, 20})
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	single := reg.Histogram("single_ms", "", []float64{10, 20})
+	single.Observe(7)
+	// One observation in (0,10]: the whole distribution is that bucket, so
+	// q=1 reads the bucket's upper bound and q=0.5 interpolates inside it.
+	if got := single.Quantile(1.0); got != 10 {
+		t.Fatalf("single-obs q1 = %v, want 10", got)
+	}
+	if got := single.Quantile(0.5); got != 5 {
+		t.Fatalf("single-obs q0.5 = %v, want 5", got)
+	}
+	over := reg.Histogram("over_ms", "", []float64{10})
+	over.Observe(50)
+	over.Observe(500)
+	if got := over.Quantile(0.99); got != 10 {
+		t.Fatalf("all-overflow quantile = %v, want saturation at last bound 10", got)
+	}
+}
+
+// TestAddBuckets pins the fleet-merge hook: folding one histogram's
+// snapshot counts into another equals having observed everything in one
+// histogram — same buckets, same count, same sum, same quantiles —
+// which is what makes merged fleet quantiles real quantiles.
+func TestAddBuckets(t *testing.T) {
+	bounds := []float64{10, 20, 50, 100, 200, 500, 1000}
+	reg := NewRegistry()
+	a := reg.Histogram("a_ms", "", bounds)
+	b := reg.Histogram("b_ms", "", bounds)
+	all := reg.Histogram("all_ms", "", bounds)
+	for i := 1; i <= 700; i++ { // a: uniform (0,700]
+		a.Observe(float64(i))
+		all.Observe(float64(i))
+	}
+	for i := 301; i <= 1200; i++ { // b: uniform (300,1200], overflows past 1000
+		b.Observe(float64(i))
+		all.Observe(float64(i))
+	}
+
+	merged := reg.Histogram("merged_ms", "", bounds)
+	for _, src := range []*Histogram{a, b} {
+		counts := make([]int64, len(src.counts))
+		for i := range src.counts {
+			counts[i] = src.counts[i].Load()
+		}
+		if err := merged.AddBuckets(counts, src.Sum()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != all.Count() || merged.Sum() != all.Sum() {
+		t.Fatalf("merged count/sum = %d/%v, want %d/%v",
+			merged.Count(), merged.Sum(), all.Count(), all.Sum())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		if got, want := merged.Quantile(q), all.Quantile(q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("q%.2f: merged %v != concatenated %v", q, got, want)
+		}
+	}
+	// And the merged quantile tracks the true sample quantile to within
+	// one bucket's resolution (the 0.5-quantile of the 1600 concatenated
+	// samples is sample #800 ≈ 550, inside the (500,1000] bucket).
+	if got := merged.Quantile(0.5); got < 500 || got > 1000 {
+		t.Fatalf("median %v outside the bucket holding the true median", got)
+	}
+
+	if err := merged.AddBuckets([]int64{1, 2}, 0); err == nil {
+		t.Fatal("bucket-count mismatch must error")
+	}
+}

@@ -65,6 +65,13 @@ type Event struct {
 	// Tick is the event time on the query's own clock, in δ ticks (0 when
 	// the clock had not yet armed).
 	Tick int64 `json:"tick"`
+	// Chain is the causal depth carried by the wire frame the event
+	// concerns (0 for query-wide lifecycle events). Query ticks are
+	// per-process clocks armed at first traffic, so two processes can
+	// stamp causally-ordered events with the same tick; the chain depth
+	// breaks those ties when the fleet collector merges rings into one
+	// cross-process timeline.
+	Chain int `json:"chain,omitempty"`
 	// Wall is the wall-clock stamp.
 	Wall time.Time `json:"wall"`
 	// Detail carries the drop reason or other short annotation.
@@ -91,6 +98,7 @@ func (qt *queryTrace) record(ev Event) {
 		last.Count++
 		last.Wall = ev.Wall
 		last.Tick = ev.Tick
+		last.Chain = ev.Chain
 		return
 	}
 	ev.Count = 1
@@ -161,11 +169,19 @@ func NewTracer(maxQueries, perQuery int) *Tracer {
 
 // Record appends one event to query q's ring (no-op on a nil tracer).
 // The Wall stamp is taken here; callers fill Kind, Host, Tick, Detail.
+// Events with no frame in hand carry chain 0 — use RecordChain when the
+// causal depth is known.
 func (t *Tracer) Record(q int64, kind EventKind, host int, tick int64, detail string) {
+	t.RecordChain(q, kind, host, tick, 0, detail)
+}
+
+// RecordChain is Record with the wire frame's causal depth attached, the
+// stamp the fleet merger uses to order same-tick events across processes.
+func (t *Tracer) RecordChain(q int64, kind EventKind, host int, tick int64, chain int, detail string) {
 	if t == nil {
 		return
 	}
-	ev := Event{Query: q, Kind: kind, Host: host, Tick: tick, Detail: detail}
+	ev := Event{Query: q, Kind: kind, Host: host, Tick: tick, Chain: chain, Detail: detail}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ev.Wall = t.nowFn()

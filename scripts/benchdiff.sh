@@ -19,8 +19,12 @@
 # keys (scale_peak_goroutines, scale_heap_inuse_bytes) gate upward too
 # (threshold BENCHDIFF_FOOT_PCT, default 50%): a regression back to
 # per-host goroutines or per-host buffers multiplies them, which no
-# sampling noise explains. Timing noise on loaded machines is real —
-# treat a red timing result as "rerun and look", not as proof by itself.
+# sampling noise explains. obs_frame_ns_instrumented — the per-frame
+# cost of the hot-path instrumentation — gates upward at the same
+# footprint threshold (the nil-disabled twin is printed for context but
+# not gated: a ~1ns branch is all noise in percentage terms). Timing
+# noise on loaded machines is real — treat a red timing result as
+# "rerun and look", not as proof by itself.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -69,13 +73,14 @@ awk -v threshold="$THRESHOLD" -v latthreshold="$LAT_THRESHOLD" -v footthreshold=
             # Throughput regresses downward; latency, wire bytes, and the
             # scale footprint regress upward; everything else in the
             # report is a config knob.
-            if (k !~ /per_sec/ && k !~ /latency_ms/ && k !~ /bytes_per_query/ && k !~ /peak_goroutines/ && k !~ /heap_inuse/) continue
+            if (k !~ /per_sec/ && k !~ /latency_ms/ && k !~ /bytes_per_query/ && k !~ /peak_goroutines/ && k !~ /heap_inuse/ && k !~ /obs_frame_ns/) continue
             pct = (new[k] - old[k]) * 100 / old[k]
             flag = ""
             if (k ~ /per_sec/ && pct < -threshold)           { flag = "  << REGRESSION"; fail = 1 }
             if (k ~ /latency_ms/ && pct > latthreshold)      { flag = "  << TAIL REGRESSION"; fail = 1 }
             if (k ~ /bytes_per_query/ && pct > threshold)    { flag = "  << WIRE REGRESSION"; fail = 1 }
             if ((k ~ /peak_goroutines/ || k ~ /heap_inuse/) && pct > footthreshold) { flag = "  << FOOTPRINT REGRESSION"; fail = 1 }
+            if (k ~ /obs_frame_ns_instrumented/ && pct > footthreshold) { flag = "  << OBS OVERHEAD REGRESSION"; fail = 1 }
             printf "%-26s %12.2f %12.2f %+8.1f%%%s\n", k, old[k], new[k], pct, flag
         }
         exit fail

@@ -28,37 +28,61 @@
 # coordination crosses the wire either.
 set -e
 
-BIN=${BIN:-$(mktemp -d)/validityd}
+BINDIR=$(mktemp -d)
+BIN=${BIN:-$BINDIR/validityd}
+TOP=${TOP:-$BINDIR/validitytop}
 go build -o "$BIN" ./cmd/validityd
+go build -o "$TOP" ./cmd/validitytop
 
 PEERS="0-19=127.0.0.1:7101,20-39=127.0.0.1:7102,40-59=127.0.0.1:7103"
 CHURN="-churn rate=6,window=12 -kill 29@4"
 COMMON="-transport tcp -topology random -hosts 60 -seed 23 -peers $PEERS -agg count,min -hq 0,7 -dhat 12 -hop 5ms $CHURN"
 
+# Every process exposes its own -metrics endpoint; -fleet on the issuer
+# names all three, arming the cross-process plane: /metrics/fleet rolls
+# the fleet up into one exposition and slow-query dumps merge the trace
+# rings of every process into one causally-ordered timeline.
+M1=127.0.0.1:7190
+M2=127.0.0.1:7191
+M3=127.0.0.1:7192
+FLEET="issuer=$M1,w1=$M2,w2=$M3"
+
 # Workers serve indefinitely; the trap reaps them when the demo is done.
-"$BIN" $COMMON -serve 20-39 &
+"$BIN" $COMMON -serve 20-39 -metrics $M2 &
 W1=$!
-"$BIN" $COMMON -serve 40-59 &
+"$BIN" $COMMON -serve 40-59 -metrics $M3 &
 W2=$!
 trap 'kill $W1 $W2 2>/dev/null || true' EXIT
 
 sleep 1 # let the workers bind their listeners
 
-# The issuer also exposes its observability surface: -metrics serves the
-# Prometheus exposition, a JSON snapshot of live/retired queries, and
-# pprof. Scrape it mid-churn, while the stream is still in flight.
-METRICS=127.0.0.1:7190
-"$BIN" $COMMON -serve 0-19 -query -queries 8 -concurrency 2 -metrics $METRICS &
+# The issuer's observability surface: -metrics serves the Prometheus
+# exposition, typed /debug/snapshot + /debug/trace dumps, /debug/queries,
+# and pprof; -slow-query 1ms makes every query dump its merged fleet
+# timeline to stderr. Scrape mid-churn, while the stream is in flight.
+QLOG=$(mktemp)
+"$BIN" $COMMON -serve 0-19 -query -queries 8 -concurrency 2 \
+    -metrics $M1 -fleet "$FLEET" -slow-query 1ms 2>"$QLOG" &
 Q=$!
 for _ in 1 2 3 4 5 6 7 8 9 10; do
-    curl -fsS "http://$METRICS/metrics" >/dev/null 2>&1 && break
+    curl -fsS "http://$M1/metrics" >/dev/null 2>&1 && break
     sleep 0.2
 done
 echo "--- mid-run scrape: §6.3 counters and latency histograms ---"
-curl -fsS "http://$METRICS/metrics" 2>/dev/null | grep -E '^(node|transport|daemon)_' | head -n 12 || true
+curl -fsS "http://$M1/metrics" 2>/dev/null | grep -E '^(node|transport|daemon)_' | head -n 12 || true
+echo "--- mid-run scrape: /metrics/fleet (counters summed, histograms bucket-merged) ---"
+curl -fsS "http://$M1/metrics/fleet" 2>/dev/null | grep -E '^(fleet_|node_messages|daemon_query_latency_ms_(count|sum))' | head -n 12 || true
 echo "--- mid-run scrape: /debug/queries ---"
-curl -fsS "http://$METRICS/debug/queries" 2>/dev/null || true
+curl -fsS "http://$M1/debug/queries" 2>/dev/null || true
 wait $Q
+echo "--- merged slow-query timeline: query 1's events from all three processes ---"
+grep 'msg="slow query trace" query=1 ' "$QLOG" || true
+rm -f "$QLOG"
+
+# validitytop reads the same fleet addresses; the issuer has exited by
+# now, so its DOWN row demos per-peer failure tolerance live.
+echo "--- validitytop -once ---"
+"$TOP" -fleet "$FLEET" -once || true
 
 # The same churned stream fully in process via the channel transport:
 "$BIN" -transport chan -topology random -hosts 60 -seed 23 -agg count,min -hq 0,7 -hop 5ms $CHURN -query -queries 4 -concurrency 2
