@@ -68,8 +68,8 @@ func render(w *os.File, coll *fleet.Collector, clear bool) {
 		b.WriteString("\x1b[H\x1b[2J")
 	}
 	fmt.Fprintf(&b, "validitytop  %s  peers=%d\n\n", time.Now().Format("15:04:05"), len(peers))
-	fmt.Fprintf(&b, "%-20s %-5s %8s %10s %7s %6s %6s %10s %10s %7s %9s\n",
-		"PROC", "UP", "GOROUT", "HEAP", "SHARDQ", "LIVE", "REJ", "SENT", "BYTES", "DROPS", "UPTIME")
+	fmt.Fprintf(&b, "%-20s %-5s %8s %10s %7s %6s %6s %10s %10s %7s %7s %9s\n",
+		"PROC", "UP", "GOROUT", "HEAP", "SHARDQ", "LIVE", "REJ", "SENT", "BYTES", "DROPS", "QUIESCE", "UPTIME")
 	for _, p := range peers {
 		if p.Err != nil {
 			fmt.Fprintf(&b, "%-20s %-5s %s\n", clip(p.Proc, 20), "DOWN", p.Err.Error())
@@ -85,22 +85,34 @@ func render(w *os.File, coll *fleet.Collector, clear bool) {
 		for _, n := range fleet.CounterByLabel(snap, "node_frames_dropped_total", "reason") {
 			drops += n
 		}
-		fmt.Fprintf(&b, "%-20s %-5s %8d %10s %7d %6d %6d %10d %10s %7d %9s\n",
+		// QUIESCE: control frames this process put on (sent, workers) or
+		// took off (received, the issuer) the quiescence plane.
+		quiesce := fleet.CounterTotal(snap, "node_quiesce_frames_sent_total") +
+			fleet.CounterTotal(snap, "node_quiesce_frames_received_total")
+		fmt.Fprintf(&b, "%-20s %-5s %8d %10s %7d %6d %6d %10d %10s %7d %7d %9s\n",
 			clip(p.Proc, 20), "up",
 			int64(goroutines), sizeStr(heap), int64(shardq), int64(live),
 			fleet.CounterTotal(snap, "engine_queries_rejected_total"),
 			fleet.CounterTotal(snap, "node_messages_sent_total"),
 			sizeStr(float64(fleet.CounterTotal(snap, "node_bytes_sent_total"))),
-			drops,
+			drops, quiesce,
 			(time.Duration(uptime) * time.Second).String())
 	}
 
 	// Fleet summary: the latency tail off the bucket-merged histogram —
 	// real fleet quantiles — and drop totals by reason across processes.
 	b.WriteByte('\n')
+	var early, deadline int64
+	for _, p := range peers {
+		if p.Err != nil {
+			continue
+		}
+		early += fleet.CounterTotal(p.Snap, "node_early_reads_total")
+		deadline += fleet.CounterTotal(p.Snap, "node_deadline_reads_total")
+	}
 	if h, ok := fleet.MergeHistograms(peers, "daemon_query_latency_ms"); ok && h.Count > 0 {
-		fmt.Fprintf(&b, "fleet: queries=%d  lat p50=%.1fms p95=%.1fms p99=%.1fms\n",
-			h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		fmt.Fprintf(&b, "fleet: queries=%d  lat p50=%.1fms p95=%.1fms p99=%.1fms  reads early=%d deadline=%d\n",
+			h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), early, deadline)
 	} else {
 		fmt.Fprintln(&b, "fleet: no query latency observations yet")
 	}

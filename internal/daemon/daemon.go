@@ -96,6 +96,12 @@ type Config struct {
 	// Serve lists the hosts this process runs: "20-39" or "0,5,7-9"
 	// (tcp only; chan serves everything).
 	Serve string
+	// Quiesce enables the cross-process quiescence control plane on a
+	// tcp fleet (default true): worker processes announce per-query
+	// silence to the issuer, whose reads may then return at true global
+	// quiescence instead of sleeping out the sharded worst-case floor.
+	// -quiesce=false opts out; the hard 2·D̂δ cap applies either way.
+	Quiesce bool
 
 	// Query makes this process issue the query stream; other processes
 	// serve their hosts (indefinitely, unless RunFor bounds them).
@@ -221,6 +227,7 @@ func Flags(fs *flag.FlagSet) *Config {
 	fs.StringVar(&cfg.Transport, "transport", "chan", "chan (in-process) | tcp (sharded fleet)")
 	fs.StringVar(&cfg.Peers, "peers", "", "host→address map, e.g. 0-19=127.0.0.1:7001,20-39=127.0.0.1:7002")
 	fs.StringVar(&cfg.Serve, "serve", "", "hosts this process serves, e.g. 20-39")
+	fs.BoolVar(&cfg.Quiesce, "quiesce", true, "tcp: announce per-query quiescence across processes so reads can return before the full 2·D̂δ deadline (-quiesce=false opts out)")
 	fs.BoolVar(&cfg.Query, "query", false, "issue the query stream and report results")
 	fs.StringVar(&cfg.Hq, "hq", "0", "querying host(s), comma-separated; query i uses entry i mod len")
 	fs.StringVar(&cfg.Agg, "agg", "count", "aggregate(s) min|max|count|sum|avg, comma-separated; query i uses entry i mod len")
@@ -590,8 +597,9 @@ func Run(cfg *Config) error {
 	}
 
 	var (
-		tr    transport.Transport
-		local []graph.HostID // nil = all
+		tr     transport.Transport
+		local  []graph.HostID // nil = all
+		roster []int          // host→process index, tcp only
 	)
 	switch cfg.Transport {
 	case "chan":
@@ -605,6 +613,20 @@ func Run(cfg *Config) error {
 		}
 		if local, err = parseHostSet(cfg.Serve, n); err != nil {
 			return err
+		}
+		// The host→process roster the quiescence plane needs falls out
+		// of -peers: hosts sharing a transport address share a process.
+		// Indexing by first appearance gives every process the identical
+		// numbering from the identical flag.
+		procIdx := make(map[string]int)
+		roster = make([]int, n)
+		for h, a := range addrs {
+			p, ok := procIdx[a]
+			if !ok {
+				p = len(procIdx)
+				procIdx[a] = p
+			}
+			roster[h] = p
 		}
 		tcp := transport.NewTCP(addrs)
 		tcp.Obs = reg
@@ -620,6 +642,8 @@ func Run(cfg *Config) error {
 		Local:          local,
 		Shards:         cfg.Shards,
 		MaxLiveQueries: cfg.MaxLiveQueries,
+		Quiesce:        cfg.Quiesce,
+		Roster:         roster,
 		Obs:            reg,
 		Trace:          tracer,
 	})
@@ -694,6 +718,7 @@ func Run(cfg *Config) error {
 			return nil, err
 		}
 		inst.Churn = plan.forQuery(id, spec.Hq, spec.Deadline())
+		inst.Origin = spec.Hq
 		return inst, nil
 	})
 	if err := rt.Start(); err != nil {
@@ -832,8 +857,8 @@ func runQueryStream(cfg *Config, rt *node.Runtime, g *graph.Graph, values []int6
 			// answer is in hand when the query converges, not when the
 			// worst-case budget expires. The old sleep-out-the-deadline
 			// budget stays as the hard cap.
-			floor, settle, cap := rt.AwaitBracket(spec.Deadline())
-			v, ok, err := rt.AwaitQueryResult(id, spec.Hq, floor, settle, cap)
+			floor, settle, hardCap := rt.AwaitBracket(spec.Deadline())
+			v, ok, err := rt.AwaitQueryResult(id, spec.Hq, floor, settle, hardCap)
 			if err == nil && !ok {
 				err = fmt.Errorf("daemon: query %d declared no result at h_q=%d", id, spec.Hq)
 			}

@@ -337,7 +337,7 @@ func TestBenchEngine(t *testing.T) {
 	// Sharded-TCP regime: the 60-host stream of the static run, but split
 	// across three OS processes on loopback with an explicit -shards 4, so
 	// the trajectory also tracks the engine behind real sockets.
-	tcpQPS := func() float64 {
+	tcpQPS, tcpLat := func() (float64, *obs.Histogram) {
 		ports := freeAddrs(t, 3)
 		peers := fmt.Sprintf("0-19=%s,20-39=%s,40-59=%s", ports[0], ports[1], ports[2])
 		common := []string{
@@ -376,11 +376,13 @@ func TestBenchEngine(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg.Out = &out
+		cfg.Obs = obs.NewRegistry()
 		start := time.Now()
 		if err := Run(cfg); err != nil {
 			t.Fatalf("bench tcp-sharded stream failed: %v\n%s", err, out.String())
 		}
-		return float64(queries) / time.Since(start).Seconds()
+		lat := cfg.Obs.Histogram("daemon_query_latency_ms", "", obs.LatencyBucketsMs)
+		return float64(queries) / time.Since(start).Seconds(), lat
 	}()
 
 	// Obs-overhead regime: the per-frame instrumentation workload the
@@ -428,6 +430,9 @@ func TestBenchEngine(t *testing.T) {
 		"windows_per_sec_churn":       churnWPS,
 		"windows_per_sec_join":        joinWPS,
 		"queries_per_sec_tcp_sharded": tcpQPS,
+		"latency_ms_p50_tcp_sharded":  tcpLat.Quantile(0.50),
+		"latency_ms_p95_tcp_sharded":  tcpLat.Quantile(0.95),
+		"latency_ms_p99_tcp_sharded":  tcpLat.Quantile(0.99),
 		"scale_hosts":                 scaleHosts,
 		"scale_queries_per_sec":       scaleQPS,
 		"scale_peak_goroutines":       scalePeakG,

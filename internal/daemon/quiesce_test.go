@@ -1,0 +1,94 @@
+package daemon
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessTCPQuiesceEarlyRead is the tentpole's acceptance test:
+// three OS processes shard 60 hosts over TCP, churn removes six hosts
+// from each query's timeline, and the quiescence control plane must
+// deliver at least one answer strictly below the old full-deadline floor
+// (deadline+2 hops — what every sharded read paid before the control
+// plane existed), with every answer still oracle-valid. D̂ is set high
+// (20, against a real diameter around 5) exactly because that is the
+// regime the fast path targets: the worse the overestimate, the bigger
+// the gap between convergence and the 2·D̂δ worst case.
+func TestMultiProcessTCPQuiesceEarlyRead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and runs wall-clock queries")
+	}
+	ports := freeAddrs(t, 3)
+	peers := fmt.Sprintf("0-19=%s,20-39=%s,40-59=%s", ports[0], ports[1], ports[2])
+	const dhat = 20
+	common := []string{
+		"-transport", "tcp",
+		"-topology", "random", "-hosts", "60", "-seed", "23",
+		"-peers", peers,
+		"-agg", "count",
+		"-dhat", strconv.Itoa(dhat),
+		"-churn", "rate=6,window=12",
+		"-hop", testHop.String(),
+	}
+
+	for _, serve := range []string{"20-39", "40-59"} {
+		args := append(append([]string{}, common...), "-serve", serve, "-run-for", "120s")
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "VALIDITYD_CHILD_ARGS="+joinArgs(args))
+		var childOut bytes.Buffer
+		cmd.Stdout = &childOut
+		cmd.Stderr = &childOut
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+			if t.Failed() {
+				t.Logf("worker %s output:\n%s", serve, childOut.String())
+			}
+		})
+	}
+	waitListening(t, ports[1])
+	waitListening(t, ports[2])
+
+	var out bytes.Buffer
+	args := append(append([]string{}, common...),
+		"-serve", "0-19", "-query", "-hq", "0", "-queries", "3")
+	cfg, err := ParseArgs("validityd", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Out = &out
+	if err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// latRe (churn_test.go): group 4 = valid, group 5 = lat ms.
+	lines := latRe.FindAllStringSubmatch(out.String(), -1)
+	if len(lines) != 3 {
+		t.Fatalf("want 3 result lines, got %d:\n%s", len(lines), out.String())
+	}
+	// The floor every sharded read paid before cross-process quiescence:
+	// ResultFloor's (deadline+2)·δ with deadline = 2·D̂.
+	oldFloor := time.Duration(2*dhat+2) * testHop
+	minLat := time.Duration(-1)
+	for _, m := range lines {
+		if m[4] != "true" {
+			t.Fatalf("early-read answer judged oracle-invalid:\n%s", out.String())
+		}
+		ms, _ := strconv.Atoi(m[5])
+		if lat := time.Duration(ms) * time.Millisecond; minLat < 0 || lat < minLat {
+			minLat = lat
+		}
+	}
+	if minLat >= oldFloor {
+		t.Fatalf("no early read: fastest answer took %v, old deadline floor is %v:\n%s",
+			minLat, oldFloor, out.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"validity/internal/graph"
+	"validity/internal/obs"
 	"validity/internal/sim"
 )
 
@@ -23,6 +24,13 @@ import (
 // its partial is frozen once the deadline (plus a processing margin) has
 // passed. The adaptive saving on a sharded fleet is the scheduling slack
 // past the deadline, not the deadline itself.
+//
+// The sharded floor is the *unassisted* bound. With the cross-process
+// quiescence control plane enabled (Config.Quiesce + Roster, quiesce.go),
+// AwaitQueryResult additionally holds affirmative evidence — every peer
+// process claiming a stable quiet epoch — and may then read as early as
+// the all-local floor; ResultFloor itself stays the worst case so the
+// bracket's cap never loosens.
 func (rt *Runtime) ResultFloor(deadline sim.Time) time.Duration {
 	if len(rt.localHosts) == rt.g.Len() {
 		return time.Duration(deadline/2+2) * rt.hop
@@ -51,14 +59,14 @@ func (rt *Runtime) queryActivity(id QueryID) (int64, bool) {
 // flush). One derivation shared by the daemon's one-shot reads and the
 // streaming subsystem's per-window reads keeps their latencies
 // comparable.
-func (rt *Runtime) AwaitBracket(deadline sim.Time) (floor, settle, cap time.Duration) {
+func (rt *Runtime) AwaitBracket(deadline sim.Time) (floor, settle, hardCap time.Duration) {
 	floor = rt.ResultFloor(deadline)
 	settle = time.Duration(deadline) * rt.hop / 4
 	if settle < 2*rt.hop {
 		settle = 2 * rt.hop
 	}
-	cap = time.Duration(deadline)*rt.hop + 10*rt.hop + 100*time.Millisecond
-	return floor, settle, cap
+	hardCap = time.Duration(deadline)*rt.hop + 10*rt.hop + 100*time.Millisecond
+	return floor, settle, hardCap
 }
 
 // AwaitQueryResult reads query id's declared result at local host h as
@@ -74,23 +82,48 @@ func (rt *Runtime) AwaitBracket(deadline sim.Time) (floor, settle, cap time.Dura
 //     read. WILDFIRE refloods on every partial change (§5.1), so local
 //     silence means nothing en route through this shard is still mutating
 //     h's partial;
-//   - cap is the hard deadline: at cap the result is read unconditionally,
-//     exactly as the old sleep-out-the-deadline path did. Convergence can
-//     only ever shorten the wait, never loosen the §3.1 deadline.
+//   - hardCap is the hard deadline: at hardCap the result is read
+//     unconditionally, exactly as the old sleep-out-the-deadline path
+//     did. Convergence can only ever shorten the wait, never loosen the
+//     §3.1 deadline.
+//
+// On a runtime with the quiescence control plane enabled there is a
+// second early path that undercuts a sharded floor: once every peer
+// process of the roster reports a stable quiet epoch (remoteQuiet) and
+// the local settle window has passed, the read happens as early as the
+// all-local floor — the peers' affirmative claims substitute for the
+// remote visibility the sharded floor otherwise has to assume away.
 //
 // The result read itself runs through Runtime.Do on h's own goroutine, so
 // it can never race in-flight handler callbacks. The returned latency-
 // relevant guarantee is the point: one-shot and per-window answer times
 // reflect actual convergence, not the worst-case bound.
-func (rt *Runtime) AwaitQueryResult(id QueryID, h graph.HostID, floor, settle, cap time.Duration) (float64, bool, error) {
+func (rt *Runtime) AwaitQueryResult(id QueryID, h graph.HostID, floor, settle, hardCap time.Duration) (float64, bool, error) {
 	start := time.Now()
-	hard := start.Add(cap)
+	hard := start.Add(hardCap)
 	if settle <= 0 {
 		settle = rt.hop
 	}
-	poll := rt.hop / 2
-	if poll <= 0 {
-		poll = time.Millisecond
+	basePoll := rt.hop / 2
+	if basePoll <= 0 {
+		basePoll = time.Millisecond
+	}
+	poll := basePoll
+	// Geometric backoff once an early read is in reach: half-hop polling
+	// exists to catch the settle edge promptly, but a long quiet wait for
+	// the floor (or a query that never settles before the cap) should not
+	// spin at hop/2 for seconds. The ceiling keeps half the settle
+	// window's resolution, so the edge is still seen on time.
+	maxPoll := settle / 2
+	if maxPoll < basePoll {
+		maxPoll = basePoll
+	}
+	qs := rt.lookupQuery(id)
+	// The quiesce fast path's own floor: never below the caller's floor
+	// when that is already shorter (streams pass lag-adjusted floors).
+	qFloor := rt.quiesceFloor(qs)
+	if qFloor >= 0 && floor < qFloor {
+		qFloor = floor
 	}
 	lastAct := int64(-1)
 	quietSince := start
@@ -102,16 +135,38 @@ func (rt *Runtime) AwaitQueryResult(id QueryID, h graph.HostID, floor, settle, c
 		if act, known := rt.queryActivity(id); known && act != lastAct {
 			lastAct = act
 			quietSince = now
+			poll = basePoll
 		}
-		// Early read: past the floor, some traffic observed, and silent
-		// for the whole settle window.
-		if lastAct > 0 && now.Sub(start) >= floor && now.Sub(quietSince) >= settle {
-			v, ok, err := rt.QueryResult(id, h)
-			if err == nil && ok {
-				return v, true, nil
+		// Early read: some traffic observed, silent for the whole settle
+		// window, and past either the sound floor or — with every peer
+		// process affirmatively quiet — the quiesce floor.
+		if lastAct > 0 && now.Sub(quietSince) >= settle {
+			settled := now.Sub(start) >= floor
+			quiesced := !settled && qFloor >= 0 && now.Sub(start) >= qFloor && rt.remoteQuiet(qs)
+			if settled || quiesced {
+				v, ok, err := rt.QueryResult(id, h)
+				if err == nil && ok {
+					rt.met.earlyReads.Inc()
+					if rt.trace != nil && qs != nil {
+						detail := "settle"
+						if quiesced {
+							detail = "quiesce"
+						}
+						rt.trace.Record(int64(id), obs.EvEarlyRead, -1, qs.tickNow(rt), detail)
+					}
+					return v, true, nil
+				}
+				// No declared result yet (or a transient read failure):
+				// keep polling until the hard cap.
 			}
-			// No declared result yet (or a transient read failure): keep
-			// polling until the hard cap.
+		}
+		if now.Sub(start) >= floor || (qFloor >= 0 && now.Sub(start) >= qFloor) {
+			if poll < maxPoll {
+				poll *= 2
+				if poll > maxPoll {
+					poll = maxPoll
+				}
+			}
 		}
 		wait := poll
 		if rem := hard.Sub(time.Now()); rem < wait {
@@ -125,5 +180,6 @@ func (rt *Runtime) AwaitQueryResult(id QueryID, h graph.HostID, floor, settle, c
 			}
 		}
 	}
+	rt.met.deadlineReads.Inc()
 	return rt.QueryResult(id, h)
 }

@@ -46,6 +46,10 @@ type runtimeMetrics struct {
 	rejected      *obs.Counter
 	retired       *obs.Counter
 	compacted     *obs.Counter
+	quiesceSent   *obs.Counter
+	quiesceRecv   *obs.Counter
+	earlyReads    *obs.Counter
+	deadlineReads *obs.Counter
 }
 
 // initObs registers the runtime's metrics and sampled gauges on reg and
@@ -73,6 +77,10 @@ func (rt *Runtime) initObs(reg *obs.Registry, tracer *obs.Tracer) {
 		rejected:      reg.Counter("engine_queries_rejected_total", "Query instantiations rejected by the live-query admission cap."),
 		retired:       reg.Counter("node_queries_retired_total", "Queries whose protocol state was retired."),
 		compacted:     reg.Counter("node_queries_compacted_total", "Retired queries compacted to ring summaries."),
+		quiesceSent:   reg.Counter("node_quiesce_frames_sent_total", "Quiescence announces sent to issuing processes."),
+		quiesceRecv:   reg.Counter("node_quiesce_frames_received_total", "Quiescence announces received from worker processes."),
+		earlyReads:    reg.Counter("node_early_reads_total", "AwaitQueryResult reads returned before the hard deadline cap."),
+		deadlineReads: reg.Counter("node_deadline_reads_total", "AwaitQueryResult reads that fell through to the hard deadline cap."),
 	}
 	reg.Gauge("node_shards", "Shard workers executing host callbacks.").Set(int64(len(rt.shards)))
 	reg.GaugeFunc("node_shard_queue_depth_max", "Deepest per-shard callback backlog (queued plus parked).", func() float64 {

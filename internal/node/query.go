@@ -27,6 +27,12 @@ type QueryInstance struct {
 	// Deadline is the query's termination time 2·D̂ in δ ticks; the engine
 	// retires the query's state well after it has passed.
 	Deadline sim.Time
+	// Origin is the query's issuing host h_q. Factories must set it for
+	// cross-process quiescence to engage: worker processes send their
+	// quiet announces to the process serving Origin, and a process that
+	// serves Origin itself never announces. With quiescence disabled (or
+	// no roster) the field is inert.
+	Origin graph.HostID
 	// Churn is the query's membership timeline, in ticks of this query's
 	// own clock: from a Leave tick on, host h is dead for this query —
 	// drops its frames, fires no timers, says nothing — while other
@@ -298,6 +304,19 @@ type queryState struct {
 	membership *churn.Index
 	dead       []atomic.Bool
 
+	// Cross-process quiescence state (quiesce.go), all under qmu. On a
+	// worker process (origin remote) the q* fields drive the announce
+	// epoch machine; on the issuer peerQuiet holds the latest report per
+	// peer process. origin is the instance's issuing host, -1 when the
+	// instance declared none.
+	origin     graph.HostID
+	qmu        sync.Mutex
+	qEpoch     uint32
+	qAnnounced bool
+	qLastAct   int64
+	qActSince  time.Time
+	peerQuiet  map[int32]quiesceReport
+
 	retired   atomic.Bool
 	sent      atomic.Int64
 	bytes     atomic.Int64
@@ -313,11 +332,15 @@ func newQueryState(rt *Runtime, id QueryID, inst *QueryInstance, deadline sim.Ti
 		id:        id,
 		handlers:  make([]sim.Handler, n),
 		deadline:  deadline,
+		origin:    -1,
 		started:   make([]bool, n),
 		processed: make([]int64, n),
 	}
 	if inst != nil {
 		qs.inst.Store(inst)
+		if inst.Origin >= 0 && int(inst.Origin) < n {
+			qs.origin = inst.Origin
+		}
 		for _, h := range rt.localHosts {
 			if int(h) < len(inst.Handlers) {
 				qs.handlers[h] = inst.Handlers[h]
@@ -396,6 +419,9 @@ func (qs *queryState) armClock(rt *Runtime) {
 		if rt.trace != nil {
 			rt.trace.Record(int64(qs.id), obs.EvFirstTraffic, -1, 0, "")
 		}
+		// Quiescence announces measure silence from first traffic, so the
+		// worker's epoch machine arms with the clock.
+		rt.armQuiesce(qs, t)
 		if qs.membership != nil {
 			for _, h := range rt.localHosts {
 				for _, e := range qs.membership.HostEvents(h) {

@@ -62,6 +62,7 @@ import (
 	"validity/internal/obs"
 	"validity/internal/sim"
 	"validity/internal/transport"
+	"validity/internal/wire"
 )
 
 // QueryID identifies one in-flight query across the fleet; it is the
@@ -176,6 +177,20 @@ type Config struct {
 	// predictable rejections instead of growing state. Zero applies
 	// DefaultMaxLiveQueries; negative disables the cap.
 	MaxLiveQueries int
+	// Quiesce enables the cross-process quiescence control plane (see
+	// quiesce.go): worker processes announce per-query silence to the
+	// query's issuing process, whose AwaitQueryResult may then return at
+	// true global quiescence instead of sleeping out the sharded
+	// worst-case floor. It engages only together with a Roster and a
+	// positive Hop, and only when some hosts are actually remote; an
+	// all-local runtime already reads at one sweep.
+	Quiesce bool
+	// Roster maps every host to the index of the process serving it —
+	// the same partition on every process of the fleet (validityd
+	// derives it from -peers). Required for Quiesce: the issuer must
+	// know how many distinct peer processes owe it an announce, and
+	// which process a frame's From host speaks for.
+	Roster []int
 	// Obs, when non-nil, receives the engine's metrics: demux and drop
 	// counters, §6.3 sends/bytes, query lifecycle counts, and sampled
 	// gauges for shard queue depth and timer-heap length (see obs.go).
@@ -256,6 +271,16 @@ type Runtime struct {
 	shards  []*shard
 	shardOf []int32
 	maxLive int // admission cap; -1 = unlimited
+
+	// Cross-process quiescence (quiesce.go): procOf is the host→process
+	// roster, selfProc this process's own index, remoteProcs the
+	// distinct peer processes serving at least one host. quiesce is true
+	// only when the protocol is enabled and some hosts are remote — an
+	// all-local runtime has nobody to hear from.
+	quiesce     bool
+	procOf      []int32
+	selfProc    int32
+	remoteProcs []int32
 
 	mu      sync.Mutex
 	alive   []bool
@@ -384,6 +409,14 @@ func New(cfg Config) (*Runtime, error) {
 	default:
 		rt.maxLive = cfg.MaxLiveQueries
 	}
+	if cfg.Quiesce && cfg.Roster != nil && cfg.Hop > 0 && len(rt.localHosts) > 0 {
+		procOf, self, remote, err := buildRoster(cfg.Roster, n, rt.local, rt.localHosts)
+		if err != nil {
+			return nil, err
+		}
+		rt.procOf, rt.selfProc, rt.remoteProcs = procOf, self, remote
+		rt.quiesce = len(remote) > 0
+	}
 	rt.initObs(cfg.Obs, cfg.Trace)
 	rt.def = newQueryState(rt, DefaultQuery, nil, 0)
 	defEntry := &queryEntry{qs: rt.def}
@@ -467,6 +500,14 @@ func (rt *Runtime) Start() error {
 // to.
 func (rt *Runtime) recvFunc(h graph.HostID) transport.RecvFunc {
 	return func(m transport.Message) {
+		// Control plane first: quiesce announces carry a QueryID only to
+		// name the query they report on; they must never instantiate one
+		// (a hostile control frame would otherwise conjure state) and are
+		// not demuxed protocol traffic.
+		if q, ok := m.Payload.(wire.Quiesce); ok {
+			rt.handleQuiesce(m, q)
+			return
+		}
 		rt.met.framesIn.Inc()
 		qs, _, err := rt.queryForErr(m.Query, true)
 		if err != nil && errors.Is(err, ErrQueryRejected) {

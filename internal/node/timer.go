@@ -42,6 +42,10 @@ const (
 	// streaming subsystem opens its windows through these, so window
 	// cadence rides the same heap as every protocol timer.
 	tkFunc
+	// tkQuiesce runs one cross-process quiescence check for a query
+	// (quiesce.go): compare the activity counter, announce or withdraw a
+	// quiet claim, and re-arm.
+	tkQuiesce
 )
 
 // timerEntry is one scheduled firing.
@@ -199,6 +203,11 @@ func (rt *Runtime) fireTimer(e *timerEntry) {
 		// shard queues under back-pressure) and the loop must keep firing
 		// other hosts' timers on time.
 		go e.fn()
+	case tkQuiesce:
+		// Inline: the check is a few atomic loads, and any resulting
+		// transport send — the only part that can block — is spawned on
+		// its own goroutine inside.
+		rt.quiesceCheck(e.qs)
 	}
 }
 

@@ -29,6 +29,13 @@ const (
 	EvRetired
 	// EvCompacted: the query's counters were folded to a ring summary.
 	EvCompacted
+	// EvQuiesce: a cross-process quiescence announce was sent (worker
+	// side) or recorded (issuer side); Detail distinguishes
+	// announce-quiet/announce-busy from peer-quiet/peer-busy.
+	EvQuiesce
+	// EvEarlyRead: AwaitQueryResult returned before the hard deadline
+	// cap; Detail says which early path fired (settle or quiesce).
+	EvEarlyRead
 )
 
 func (k EventKind) String() string {
@@ -49,6 +56,10 @@ func (k EventKind) String() string {
 		return "retired"
 	case EvCompacted:
 		return "compacted"
+	case EvQuiesce:
+		return "quiesce"
+	case EvEarlyRead:
+		return "early-read"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

@@ -33,6 +33,10 @@ func allMessages(tb testing.TB) []any {
 		rrBroadcast{},
 		rrReport{},
 		gsPair{Sum: 3.25, Weight: 0.5},
+		// Not a protocol message: the quiescence control frame rides the
+		// same framing, so it belongs in the same round-trip, hostile-body,
+		// and fuzz coverage.
+		wire.Quiesce{Epoch: 2, Activity: 5, Quiet: true},
 	}
 }
 

@@ -134,7 +134,7 @@ func (s *Stream) collect() {
 	// Adaptive read bracket per window, shared with the daemon's one-shot
 	// reads (node.AwaitBracket): the runtime's sound floor, quiescence
 	// settle, and the old sleep-out-the-deadline budget as the hard cap.
-	floor, settle, cap := s.rt.AwaitBracket(spec.Deadline())
+	floor, settle, hardCap := s.rt.AwaitBracket(spec.Deadline())
 	for k := 0; k < p.Windows; k++ {
 		var op opening
 		select {
@@ -161,7 +161,7 @@ func (s *Stream) collect() {
 		// engine. Elapsed collection lag counts against this window's
 		// budget instead.
 		lag := time.Since(op.at)
-		f, c := floor-lag, cap-lag
+		f, c := floor-lag, hardCap-lag
 		if f < 0 {
 			f = 0
 		}

@@ -247,6 +247,10 @@ func (p *Plan) WindowInstance(rt *node.Runtime, k int) (*node.QueryInstance, err
 		return nil, err
 	}
 	inst.Churn = sched
+	// Every window's issuer is the continuous query's h_q: with the
+	// quiescence control plane on, worker processes announce per-window
+	// silence there and the per-window reads inherit the fast path.
+	inst.Origin = p.Spec.Hq
 	return inst, nil
 }
 

@@ -19,6 +19,18 @@
 // The Transport does not know the topology: neighbor-only communication
 // (§3.1 "messages travel only along edges of G") is enforced one layer up,
 // by sim.Context, before a message ever reaches Send.
+//
+// Control frames ride the same path as protocol traffic: the node
+// runtime's cross-process quiescence announces (wire.Quiesce, tag 239)
+// are ordinary Messages addressed to the query's issuing host, so both
+// transports route them with no special casing — the Channel passes the
+// payload as a Go value, the TCP transport encodes it through the tag's
+// registered codec like any protocol frame, and the receiving runtime
+// diverts them before the per-query demux. The one property the node
+// layer relies on is per-sender ordering: both transports deliver one
+// peer's frames in send order (the Channel through its FIFO scheduler,
+// TCP through the per-peer stream), which is what lets a same-epoch
+// quiet claim supersede the busy claim before it.
 package transport
 
 import "validity/internal/graph"

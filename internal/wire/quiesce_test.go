@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"testing"
+)
+
+// TestQuiesceRoundTrip pins the control-frame codec: a quiescence
+// announce survives AppendFrame/DecodeFrameBody bit-for-bit, including
+// the header routing fields the tracker keys on (From = announcing
+// process's host, Query = the query the claim is about).
+func TestQuiesceRoundTrip(t *testing.T) {
+	cases := []Quiesce{
+		{Epoch: 0, Activity: 0, Quiet: false},
+		{Epoch: 1, Activity: 42, Quiet: true},
+		{Epoch: 0xFFFFFFFF, Activity: -7, Quiet: true},
+	}
+	for _, q := range cases {
+		in := Frame{From: 21, To: 3, Query: 9, Chain: 0, Payload: q}
+		buf, err := AppendFrame(nil, in)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", q, err)
+		}
+		if got, want := len(buf), FrameOverhead+quiesceBodySize; got != want {
+			t.Fatalf("quiesce frame is %d bytes, want %d", got, want)
+		}
+		out, err := DecodeFrameBody(buf[4:])
+		if err != nil {
+			t.Fatalf("decode %+v: %v", q, err)
+		}
+		if out.From != in.From || out.To != in.To || out.Query != in.Query {
+			t.Fatalf("header mangled: got %+v, want %+v", out, in)
+		}
+		if got := out.Payload.(Quiesce); got != q {
+			t.Fatalf("payload round trip: got %+v, want %+v", got, q)
+		}
+	}
+}
+
+// TestQuiesceHostileBodies pins the decode hardening: wrong lengths and
+// non-boolean quiet flags error instead of yielding a half-decoded claim
+// (the fuzz corpus in internal/protocol exercises the same property
+// under mutation).
+func TestQuiesceHostileBodies(t *testing.T) {
+	good, err := AppendFrame(nil, Frame{From: 1, To: 0, Query: 5, Payload: Quiesce{Epoch: 3, Activity: 10, Quiet: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := good[4:]
+
+	truncated := body[:len(body)-1]
+	if _, err := DecodeFrameBody(truncated); err == nil {
+		t.Fatal("truncated quiesce body decoded without error")
+	}
+	padded := append(append([]byte(nil), body...), 0)
+	if _, err := DecodeFrameBody(padded); err == nil {
+		t.Fatal("padded quiesce body decoded without error")
+	}
+	badFlag := append([]byte(nil), body...)
+	badFlag[len(badFlag)-1] = 2
+	if _, err := DecodeFrameBody(badFlag); err == nil {
+		t.Fatal("quiet flag 2 decoded without error")
+	}
+}

@@ -29,6 +29,20 @@
 // reflection walk, and encode appends into a caller-owned buffer so a
 // steady-state send allocates nothing.
 //
+// Control frames share the same framing. The one control tag so far is
+// the quiescence announce (QuiesceTag, 239 — control tags grow downward
+// from the top of the protocol space), which workers send to a query's
+// issuing process when the query's local activity counter has been
+// silent past one broadcast sweep:
+//
+//	quiesce body: epoch u32 | activity i64 | quiet u8 (0|1)
+//
+// QueryID rides the frame header's query field and the announcing
+// process is identified by the header's from host. Epochs make stale
+// claims supersedable: late local activity bumps the epoch and triggers
+// a busy re-announce, so the issuer's early-read path only trusts the
+// highest epoch seen per process. See internal/node's quiesce tracker.
+//
 // Envelope/partial layout (version-2 bodies, unchanged from version 1):
 //
 //	envelope: magic u16 | version u8 | kind u8 | hop u16 | has u8 | partial?

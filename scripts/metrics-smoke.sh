@@ -5,8 +5,10 @@
 # come back. Then a second act boots a three-process TCP fleet with
 # -fleet wired and proves the cross-process plane end to end: the typed
 # /debug/snapshot and /debug/trace endpoints answer, /metrics/fleet
-# serves the rolled-up exposition, and validitytop -once renders a
-# status table off the live processes. This is the CI gate for the
+# serves the rolled-up exposition, validitytop -once renders a status
+# table off the live processes, and the issuer's quiesce-frames counter
+# proves the cross-process quiescence plane engaged. This is the CI
+# gate for the
 # observability surface — the Go tests exercise the registry and the
 # collector in depth; this proves the built binaries wire them together.
 set -e
@@ -168,6 +170,23 @@ for want in 'PROC' 'w1' 'w2' 'fleet:'; do
         exit 1
     fi
 done
+
+# The quiescence plane: the tcp fleet runs with -quiesce on by default,
+# so the issuer must take worker control frames off the wire while the
+# stream is live — a zero counter here means the plane never engaged.
+i=0
+while [ $i -lt 100 ]; do
+    QN=$(curl -fsS "http://$M1/metrics" 2>/dev/null |
+        sed -n 's/^node_quiesce_frames_received_total \([0-9]*\)$/\1/p')
+    [ -n "$QN" ] && [ "$QN" -gt 0 ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ $i -ge 100 ]; then
+    echo "metrics-smoke: issuer never received a quiesce control frame" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
 
 if ! wait "$QPID"; then
     echo "metrics-smoke: fleet issuer failed" >&2
